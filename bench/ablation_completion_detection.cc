@@ -1,0 +1,80 @@
+// Section 4.3 ablation: completion detection via the paper's per-state
+// counters versus the Parallel-Track-style fallback that only waits for a
+// full window turnover. The counter variant should declare states complete
+// far earlier, cutting residual per-probe completion checks during the
+// post-migration phase.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+void RunDetection(benchmark::State& state, JiscOptions::DetectionMode mode) {
+  int n_joins = static_cast<int>(state.range(0));
+  int streams = n_joins + 1;
+  uint64_t window = ScaledWindow();
+  auto order = Order(streams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = streams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 17;
+    SyntheticSource src(cfg);
+    CountingSink sink;
+    JiscOptions jopts;
+    jopts.detection = mode;
+    auto runtime = std::make_unique<JiscRuntime>(jopts);
+    JiscRuntime* rt = runtime.get();
+    Engine engine(plan, WindowSpec::Uniform(streams, window), &sink,
+                  std::move(runtime));
+    for (size_t i = 0; i < static_cast<size_t>(streams) * window * 2; ++i) {
+      engine.Push(src.Next());
+    }
+    Status s = engine.RequestTransition(next);
+    JISC_CHECK(s.ok()) << s.ToString();
+
+    // Process half a window turnover, then see how many states each
+    // detection mode has managed to declare complete.
+    WallTimer timer;
+    size_t stage = static_cast<size_t>(streams) * window / 2;
+    for (size_t i = 0; i < stage; ++i) engine.Push(src.Next());
+    double mid_seconds = timer.ElapsedSeconds();
+    double incomplete_mid = rt->num_incomplete();
+    for (size_t i = 0; i < stage * 3; ++i) engine.Push(src.Next());
+    state.SetIterationTime(timer.ElapsedSeconds());
+    state.counters["mid_stage_ms"] = mid_seconds * 1e3;
+    state.counters["incomplete_at_half_turnover"] = incomplete_mid;
+    state.counters["incomplete_at_end"] =
+        static_cast<double>(rt->num_incomplete());
+    state.counters["completions"] =
+        static_cast<double>(engine.metrics().completions);
+  }
+}
+
+void BM_CounterDetection(benchmark::State& state) {
+  RunDetection(state, JiscOptions::DetectionMode::kCounter);
+}
+void BM_TurnoverOnlyDetection(benchmark::State& state) {
+  RunDetection(state, JiscOptions::DetectionMode::kWindowTurnoverOnly);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_CounterDetection)->Arg(4)->Arg(8)->Arg(12)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_TurnoverOnlyDetection)->Arg(4)->Arg(8)->Arg(12)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

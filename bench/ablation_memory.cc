@@ -1,0 +1,95 @@
+// Section 5 ("JISC does not add any memory overhead"): state-memory
+// footprint around a worst-case transition. JISC keeps one plan's states
+// (the completion bookkeeping is a counter per incomplete state); Parallel
+// Track and the hybrid strategies hold multiple plans' states until the old
+// plan is purged, roughly doubling the footprint for the whole migration
+// stage. Counters mem_kb_bucket_<i> sample the footprint per quarter-window
+// interval; the transition fires before bucket 4.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kJoins = 8;
+constexpr int kBuckets = 12;
+
+void RunMemory(benchmark::State& state, ProcessorKind kind) {
+  int streams = kJoins + 1;
+  uint64_t window = ScaledWindow();
+  auto order = Order(streams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = streams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 29;
+    SyntheticSource src(cfg);
+    BuiltProcessor built =
+        MakeProcessor(kind, plan, WindowSpec::Uniform(streams, window));
+    WarmUp(built.processor.get(), &src, streams, window);
+    double baseline_kb =
+        static_cast<double>(built.processor->StateMemory()) / 1024.0;
+    state.counters["baseline_kb"] = baseline_kb;
+
+    size_t per_bucket = static_cast<size_t>(streams) * window / 4;
+    double peak_kb = baseline_kb;
+    WallTimer timer;
+    for (int bucket = 0; bucket < kBuckets; ++bucket) {
+      if (bucket == 4) {
+        Status s = built.processor->RequestTransition(next);
+        JISC_CHECK(s.ok()) << s.ToString();
+      }
+      for (size_t i = 0; i < per_bucket; ++i) {
+        built.processor->Push(src.Next());
+      }
+      double kb =
+          static_cast<double>(built.processor->StateMemory()) / 1024.0;
+      peak_kb = std::max(peak_kb, kb);
+      state.counters["mem_kb_bucket_" + std::to_string(bucket)] = kb;
+    }
+    state.SetIterationTime(timer.ElapsedSeconds());
+    state.counters["peak_kb"] = peak_kb;
+    state.counters["peak_over_baseline"] = peak_kb / baseline_kb;
+  }
+}
+
+void BM_Jisc(benchmark::State& state) {
+  RunMemory(state, ProcessorKind::kJisc);
+}
+void BM_MovingState(benchmark::State& state) {
+  RunMemory(state, ProcessorKind::kMovingState);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunMemory(state, ProcessorKind::kParallelTrack);
+}
+void BM_HybridTrack(benchmark::State& state) {
+  RunMemory(state, ProcessorKind::kHybridTrack);
+}
+void BM_Cacq(benchmark::State& state) {
+  RunMemory(state, ProcessorKind::kCacq);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_Jisc)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_MovingState)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_HybridTrack)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Cacq)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

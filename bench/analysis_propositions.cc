@@ -1,0 +1,63 @@
+// Section 5 (Propositions 1-3): the expected number of complete states
+// after a random pairwise join exchange, its variance, the asymptotic
+// approximations, and the concentration C_n/n -> 1. Each row prints the
+// closed forms next to a Monte-Carlo estimate; E_over_n climbing toward 1.0
+// with n is the paper's "JISC is robust" result.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/complete_states_model.h"
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+void BM_CompleteStatesModel(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(2024 + static_cast<uint64_t>(n));
+  for (auto _ : state) {
+    MonteCarloResult mc = SimulateCompleteStates(n, 100000, /*epsilon=*/0.5,
+                                                 &rng);
+    benchmark::DoNotOptimize(mc);
+    state.counters["E_exact"] = ExpectedCompleteStates(n);
+    state.counters["E_asymptotic"] = ExpectedCompleteStatesAsymptotic(n);
+    state.counters["E_montecarlo"] = mc.mean;
+    state.counters["E_over_n"] = ExpectedCompleteStates(n) / n;
+    state.counters["Var_exact"] = VarianceCompleteStates(n);
+    state.counters["Var_asymptotic"] = VarianceCompleteStatesAsymptotic(n);
+    state.counters["Var_montecarlo"] = mc.variance;
+    state.counters["tail_Cn_below_half_n"] = mc.tail_fraction;
+  }
+}
+
+// Cross-check of the model against the engine: sampled pairwise exchanges
+// applied to real left-deep plans; the structural incomplete-state count
+// must average to n - E[J - I].
+void BM_ModelVsPlanDiff(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int streams = n + 1;
+  Rng rng(7);
+  for (auto _ : state) {
+    double sum_complete = 0;
+    const int kSamples = 20000;
+    auto base = Order(streams);
+    for (int s = 0; s < kSamples; ++s) {
+      auto swapped = RandomTriangularSwap(base, &rng);
+      sum_complete += n - CountIncompleteStates(base, swapped);
+    }
+    state.counters["engine_E_complete"] = sum_complete / kSamples;
+    state.counters["model_E_complete"] = ExpectedCompleteStates(n);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_CompleteStatesModel)
+    ->RangeMultiplier(4)->Range(4, 4096)->Iterations(1);
+BENCHMARK(jisc::bench::BM_ModelVsPlanDiff)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Iterations(1);
+
+BENCHMARK_MAIN();

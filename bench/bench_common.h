@@ -1,0 +1,164 @@
+#ifndef JISC_BENCH_BENCH_COMMON_H_
+#define JISC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "plan/transitions.h"
+#include "stream/synthetic_source.h"
+#include "workload/factory.h"
+#include "workload/runner.h"
+
+namespace jisc {
+namespace bench {
+
+// Paper scale: windows of 10,000 tuples, 10M-tuple runs, up to 20 joins.
+// JISC_BENCH_SCALE (default 0.02) scales the window; run lengths follow
+// from it so every bench finishes quickly on one core yet reproduces the
+// figures' shape. JISC_BENCH_SCALE=1 approaches paper scale.
+inline uint64_t ScaledWindow() {
+  double w = 10000.0 * BenchScale();
+  return static_cast<uint64_t>(w < 50 ? 50 : w);
+}
+
+// Key domain giving ~1.0 expected matches per single-window probe
+// (critical per-level join selectivity). This keeps every intermediate
+// state near the window size in expectation -- the regime in which the
+// paper's effects appear: CACQ pays ~n probes per tuple versus ~n/2 for a
+// pipeline, and Parallel Track's duplicated processing and purge scans
+// dominate the migration stage.
+inline uint64_t DomainFor(uint64_t window) { return window; }
+
+inline std::vector<StreamId> Order(int streams) {
+  std::vector<StreamId> o;
+  for (int i = 0; i < streams; ++i) o.push_back(static_cast<StreamId>(i));
+  return o;
+}
+
+// One migration-stage measurement following the paper's Section 6.1
+// methodology: warm the windows, force one transition, then process the
+// tuples of the migration stage — the stage ends when the Parallel Track
+// strategy would discard its old plan, i.e. after every stream's window has
+// turned over. All strategies process the identical recorded tuples.
+struct StageResult {
+  double seconds = 0;
+  uint64_t work = 0;
+  uint64_t outputs = 0;
+  size_t tuples = 0;
+};
+
+inline StageResult MeasureMigrationStage(ProcessorKind kind, int n_joins,
+                                         bool best_case,
+                                         uint64_t seed = 1234) {
+  int streams = n_joins + 1;
+  uint64_t window = ScaledWindow();
+  SourceConfig cfg;
+  cfg.num_streams = streams;
+  cfg.key_domain = DomainFor(window);
+  cfg.key_pattern = KeyPattern::kBottomFanout;
+  cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+  cfg.seed = seed;
+  SyntheticSource src(cfg);
+
+  auto order = Order(streams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(
+      best_case ? BestCaseOrder(order) : WorstCaseOrder(order),
+      OpKind::kHashJoin);
+
+  BuiltProcessor built = MakeProcessor(kind, plan, WindowSpec::Uniform(
+                                                       streams, window));
+  // Warm: fill every window twice over.
+  size_t warm = static_cast<size_t>(streams) * window * 2;
+  for (size_t i = 0; i < warm; ++i) built.processor->Push(src.Next());
+
+  Status s = built.processor->RequestTransition(next);
+  JISC_CHECK(s.ok()) << s.ToString();
+
+  // Migration stage length: one full window turnover (plus purge slack).
+  size_t stage = static_cast<size_t>(streams) * window + 1024;
+  ConsumeStats stats = Consume(built.processor.get(), &src, stage);
+  StageResult r;
+  r.seconds = stats.seconds;
+  r.work = stats.work_units;
+  r.outputs = stats.outputs;
+  r.tuples = stats.tuples;
+  return r;
+}
+
+// Cached per-config results so speedup counters can reference the Parallel
+// Track baseline without re-measuring.
+inline const StageResult& CachedStage(ProcessorKind kind, int n_joins,
+                                      bool best_case) {
+  static std::map<std::tuple<int, int, bool>, StageResult> cache;
+  auto key = std::make_tuple(static_cast<int>(kind), n_joins, best_case);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, MeasureMigrationStage(kind, n_joins, best_case))
+             .first;
+  }
+  return it->second;
+}
+
+// Shared driver for Figs. 11/12: total execution time under periodic
+// forced transitions (flipping between the base plan and its best- or
+// worst-case reorder). `transitions` = number of flips over the run.
+template <typename State>
+void RunFrequencyBench(State& state, ProcessorKind kind, bool best_case,
+                       int n_joins) {
+  int streams = n_joins + 1;
+  uint64_t window = ScaledWindow();
+  size_t total = static_cast<size_t>(streams) * window * 8;
+  size_t transitions = static_cast<size_t>(state.range(0));
+  size_t period = total / (transitions + 1);
+  auto order = Order(streams);
+  LogicalPlan plan_a = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan plan_b = LogicalPlan::LeftDeep(
+      best_case ? BestCaseOrder(order) : WorstCaseOrder(order),
+      OpKind::kHashJoin);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = streams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 31;
+    SyntheticSource src(cfg);
+    BuiltProcessor built =
+        MakeProcessor(kind, plan_a, WindowSpec::Uniform(streams, window));
+    WarmUp(built.processor.get(), &src, streams, window);
+    WallTimer timer;
+    bool on_b = false;
+    size_t pushed = 0;
+    size_t done_transitions = 0;
+    while (pushed < total) {
+      size_t chunk = std::min(period, total - pushed);
+      for (size_t i = 0; i < chunk; ++i) built.processor->Push(src.Next());
+      pushed += chunk;
+      if (pushed < total && done_transitions < transitions) {
+        on_b = !on_b;
+        Status s = built.processor->RequestTransition(on_b ? plan_b : plan_a);
+        JISC_CHECK(s.ok()) << s.ToString();
+        ++done_transitions;
+      }
+    }
+    double seconds = timer.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    state.counters["tuples"] = static_cast<double>(total);
+    state.counters["transitions"] = static_cast<double>(done_transitions);
+    state.counters["throughput_tps"] = static_cast<double>(total) / seconds;
+    state.counters["work_units"] =
+        static_cast<double>(built.processor->metrics().WorkUnits());
+    state.counters["completions"] =
+        static_cast<double>(built.processor->metrics().completions);
+  }
+}
+
+}  // namespace bench
+}  // namespace jisc
+
+#endif  // JISC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Figure 7: performance during the plan-migration stage, best case for JISC
+// (the transition leaves a single incomplete state just below the root,
+// Fig. 5). Series: running time per strategy over the number of joins, and
+// each strategy's speedup over the Parallel Track baseline.
+//
+// Expected shape (paper): JISC fastest, up to an order of magnitude over
+// Parallel Track at 20 joins; CACQ in between but degrading with joins.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+void RunStage(benchmark::State& state, ProcessorKind kind, bool best_case) {
+  int n_joins = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StageResult r = MeasureMigrationStage(kind, n_joins, best_case);
+    state.SetIterationTime(r.seconds);
+    state.counters["work_units"] = static_cast<double>(r.work);
+    state.counters["outputs"] = static_cast<double>(r.outputs);
+    state.counters["stage_tuples"] = static_cast<double>(r.tuples);
+    const StageResult& pt =
+        CachedStage(ProcessorKind::kParallelTrack, n_joins, best_case);
+    state.counters["speedup_vs_pt_time"] = pt.seconds / r.seconds;
+    state.counters["speedup_vs_pt_work"] =
+        static_cast<double>(pt.work) / static_cast<double>(r.work);
+  }
+}
+
+void BM_Jisc(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kJisc, /*best_case=*/true);
+}
+void BM_Cacq(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kCacq, /*best_case=*/true);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kParallelTrack, /*best_case=*/true);
+}
+void BM_HybridTrack(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kHybridTrack, /*best_case=*/true);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+#define JOINS DenseRange(4, 20, 4)
+BENCHMARK(jisc::bench::BM_Jisc)->JOINS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Cacq)->JOINS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->JOINS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_HybridTrack)->JOINS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

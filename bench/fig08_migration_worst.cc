@@ -1,0 +1,65 @@
+// Figure 8: performance during the plan-migration stage, worst case for
+// JISC (the transition -- a join-order reversal -- leaves every
+// intermediate state of the new plan incomplete, Fig. 3b).
+//
+// Expected shape (paper): JISC still wins, but its speedup over Parallel
+// Track shrinks versus Fig. 7 because of the state-completion overhead;
+// CACQ and Parallel Track are unchanged between Figs. 7 and 8 (they do not
+// distinguish complete from incomplete states).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+void RunStage(benchmark::State& state, ProcessorKind kind) {
+  int n_joins = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StageResult r = MeasureMigrationStage(kind, n_joins, /*best_case=*/false);
+    state.SetIterationTime(r.seconds);
+    state.counters["work_units"] = static_cast<double>(r.work);
+    state.counters["outputs"] = static_cast<double>(r.outputs);
+    const StageResult& pt =
+        CachedStage(ProcessorKind::kParallelTrack, n_joins, false);
+    state.counters["speedup_vs_pt_time"] = pt.seconds / r.seconds;
+    state.counters["speedup_vs_pt_work"] =
+        static_cast<double>(pt.work) / static_cast<double>(r.work);
+    // The headline comparison of Figs. 7 vs 8: how much completion work the
+    // worst case adds relative to the best case.
+    const StageResult& best = CachedStage(kind, n_joins, true);
+    state.counters["work_vs_best_case"] =
+        static_cast<double>(r.work) / static_cast<double>(best.work);
+  }
+}
+
+void BM_Jisc(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kJisc);
+}
+void BM_Cacq(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kCacq);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kParallelTrack);
+}
+void BM_HybridTrack(benchmark::State& state) {
+  RunStage(state, ProcessorKind::kHybridTrack);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+#define JOINS DenseRange(4, 20, 4)
+BENCHMARK(jisc::bench::BM_Jisc)->JOINS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Cacq)->JOINS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->JOINS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_HybridTrack)->JOINS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Figure 9: overhead during normal operation (no transition in flight) on a
+// 20-join plan. (a) JISC vs a pure symmetric-hash-join pipeline (what the
+// Parallel Track strategy runs outside migration); (b) JISC vs CACQ.
+//
+// Expected shape (paper): JISC adds almost nothing over the plain pipeline;
+// CACQ is roughly 2x slower because every tuple bounces through the eddy
+// once per join.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kJoins = 20;
+
+void RunNormal(benchmark::State& state, ProcessorKind kind) {
+  int streams = kJoins + 1;
+  uint64_t window = ScaledWindow();
+  LogicalPlan plan = LogicalPlan::LeftDeep(Order(streams), OpKind::kHashJoin);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = streams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 99;
+    SyntheticSource src(cfg);
+    BuiltProcessor built =
+        MakeProcessor(kind, plan, WindowSpec::Uniform(streams, window));
+    // Warm the windows, then measure steady state.
+    for (size_t i = 0; i < static_cast<size_t>(streams) * window; ++i) {
+      built.processor->Push(src.Next());
+    }
+    size_t n = static_cast<size_t>(streams) * window * 4;
+    ConsumeStats stats = Consume(built.processor.get(), &src, n);
+    state.SetIterationTime(stats.seconds);
+    state.counters["tuples"] = static_cast<double>(stats.tuples);
+    state.counters["throughput_tps"] =
+        static_cast<double>(stats.tuples) / stats.seconds;
+    state.counters["work_units"] = static_cast<double>(stats.work_units);
+    state.counters["work_per_tuple"] =
+        static_cast<double>(stats.work_units) /
+        static_cast<double>(stats.tuples);
+    state.counters["eddy_visits"] =
+        static_cast<double>(built.processor->metrics().eddy_visits);
+  }
+}
+
+// Fig. 9a contenders.
+void BM_Jisc(benchmark::State& state) {
+  RunNormal(state, ProcessorKind::kJisc);
+}
+void BM_PureSymmetricHashJoin(benchmark::State& state) {
+  RunNormal(state, ProcessorKind::kStaticPipeline);
+}
+// Fig. 9b contender.
+void BM_Cacq(benchmark::State& state) {
+  RunNormal(state, ProcessorKind::kCacq);
+}
+// Supplementary stateless baseline: CACQ without the eddy round trips.
+void BM_MJoin(benchmark::State& state) {
+  RunNormal(state, ProcessorKind::kMJoin);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_PureSymmetricHashJoin)->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Jisc)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Cacq)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_MJoin)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

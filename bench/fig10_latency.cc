@@ -1,0 +1,90 @@
+// Figure 10: output latency caused by a plan transition, versus window
+// size. (a) a QEP of (symmetric hash) equi-joins; (b) a QEP of
+// nested-loops theta joins. JISC vs the Moving State Strategy.
+//
+// Expected shape (paper): JISC latency is negligible and flat; Moving State
+// grows with the window — moderately for hash joins, dramatically
+// (quadratically) for nested-loops joins, which is why it is unusable for
+// frequent transitions on theta queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kStreams = 5;  // 4 joins
+
+void RunLatency(benchmark::State& state, ProcessorKind kind, OpKind join) {
+  uint64_t window = static_cast<uint64_t>(state.range(0));
+  auto order = Order(kStreams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, join);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order), join);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = kStreams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 7;
+    SyntheticSource src(cfg);
+    BuiltProcessor built =
+        MakeProcessor(kind, plan, WindowSpec::Uniform(kStreams, window));
+    WarmUp(built.processor.get(), &src, kStreams, window);
+    LatencyResult r = MeasureTransitionLatency(
+        built.processor.get(), built.sink.get(), next, &src,
+        /*max_tuples=*/window * kStreams);
+    state.SetIterationTime(r.first_output_seconds);
+    state.counters["migration_ms"] = r.migration_seconds * 1e3;
+    state.counters["first_output_ms"] = r.first_output_seconds * 1e3;
+    state.counters["tuples_until_output"] =
+        static_cast<double>(r.tuples_until_output);
+  }
+}
+
+void BM_HashJoins_Jisc(benchmark::State& state) {
+  RunLatency(state, ProcessorKind::kJisc, OpKind::kHashJoin);
+}
+void BM_HashJoins_MovingState(benchmark::State& state) {
+  RunLatency(state, ProcessorKind::kMovingState, OpKind::kHashJoin);
+}
+void BM_NestedLoops_Jisc(benchmark::State& state) {
+  RunLatency(state, ProcessorKind::kJisc, OpKind::kNljJoin);
+}
+void BM_NestedLoops_MovingState(benchmark::State& state) {
+  RunLatency(state, ProcessorKind::kMovingState, OpKind::kNljJoin);
+}
+
+// Window sweep: the paper's 10k..100k scaled down. Nested-loops windows
+// stay smaller (the eager baseline is quadratic in them).
+void HashWindows(benchmark::internal::Benchmark* b) {
+  uint64_t w = ScaledWindow();
+  for (uint64_t x : {w / 2, w, 2 * w, 5 * w, 10 * w}) {
+    b->Arg(static_cast<int64_t>(x));
+  }
+}
+void NljWindows(benchmark::internal::Benchmark* b) {
+  uint64_t w = ScaledWindow();
+  for (uint64_t x : {w / 4, w / 2, w, 2 * w, 4 * w}) {
+    b->Arg(static_cast<int64_t>(x));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_HashJoins_Jisc)->Apply(jisc::bench::HashWindows)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_HashJoins_MovingState)
+    ->Apply(jisc::bench::HashWindows)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_NestedLoops_Jisc)->Apply(jisc::bench::NljWindows)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_NestedLoops_MovingState)
+    ->Apply(jisc::bench::NljWindows)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Figure 11: total execution time versus the frequency of plan transitions,
+// worst case (each transition reverses the join order, leaving every
+// intermediate state incomplete). 20-join plan; range(0) is the number of
+// transitions forced over the run (the paper forces one per 1..10 million
+// tuples of a 20M-tuple run).
+//
+// Expected shape (paper): CACQ's cost is independent of the transition
+// frequency but uniformly high; JISC beats Parallel Track at every
+// frequency, and both improve as transitions become rarer.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kJoins = 20;
+
+void BM_Jisc(benchmark::State& state) {
+  RunFrequencyBench(state, ProcessorKind::kJisc, /*best_case=*/false, kJoins);
+}
+void BM_Cacq(benchmark::State& state) {
+  RunFrequencyBench(state, ProcessorKind::kCacq, /*best_case=*/false, kJoins);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunFrequencyBench(state, ProcessorKind::kParallelTrack, /*best_case=*/false,
+                    kJoins);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+#define FREQS DenseRange(2, 10, 2)
+BENCHMARK(jisc::bench::BM_Jisc)->FREQS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Cacq)->FREQS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->FREQS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

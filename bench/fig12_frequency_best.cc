@@ -1,0 +1,42 @@
+// Figure 12: total execution time versus the frequency of plan transitions,
+// best case (each transition swaps only the two topmost joins, leaving one
+// incomplete state just below the root). Same setup as Fig. 11 otherwise.
+//
+// Expected shape (paper): JISC's advantage over Parallel Track widens
+// relative to Fig. 11 (almost no states to complete), while CACQ remains
+// frequency-independent and slow.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kJoins = 20;
+
+void BM_Jisc(benchmark::State& state) {
+  RunFrequencyBench(state, ProcessorKind::kJisc, /*best_case=*/true, kJoins);
+}
+void BM_Cacq(benchmark::State& state) {
+  RunFrequencyBench(state, ProcessorKind::kCacq, /*best_case=*/true, kJoins);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunFrequencyBench(state, ProcessorKind::kParallelTrack, /*best_case=*/true,
+                    kJoins);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+#define FREQS DenseRange(2, 10, 2)
+BENCHMARK(jisc::bench::BM_Jisc)->FREQS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_Cacq)->FREQS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->FREQS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

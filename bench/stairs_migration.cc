@@ -1,0 +1,76 @@
+// Section 4.6 ablation: JISC applied to the eddy framework. STAIRs with
+// eager Promote/Demote (equivalent to Moving State on eddies) versus lazy
+// JISC-on-STAIRs. Series over the number of streams: the blocking
+// transition cost (eager) versus the amortized on-demand completion (lazy),
+// plus the migration-stage processing time of each.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "eddy/stairs.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+void RunStairs(benchmark::State& state, StairsExecutor::MigrationPolicy p) {
+  int streams = static_cast<int>(state.range(0));
+  uint64_t window = ScaledWindow();
+  auto order = Order(streams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = streams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 5;
+    SyntheticSource src(cfg);
+    CountingSink sink;
+    StairsExecutor stairs(plan, WindowSpec::Uniform(streams, window), &sink,
+                          p);
+    for (size_t i = 0; i < static_cast<size_t>(streams) * window * 2; ++i) {
+      stairs.Push(src.Next());
+    }
+    WallTimer transition_timer;
+    Status s = stairs.RequestTransition(next);
+    JISC_CHECK(s.ok()) << s.ToString();
+    double transition_seconds = transition_timer.ElapsedSeconds();
+
+    uint64_t work_before = stairs.metrics().WorkUnits();
+    WallTimer stage_timer;
+    size_t stage = static_cast<size_t>(streams) * window + 512;
+    for (size_t i = 0; i < stage; ++i) stairs.Push(src.Next());
+    double stage_seconds = stage_timer.ElapsedSeconds();
+
+    state.SetIterationTime(transition_seconds + stage_seconds);
+    state.counters["transition_ms"] = transition_seconds * 1e3;
+    state.counters["stage_ms"] = stage_seconds * 1e3;
+    state.counters["stage_work"] =
+        static_cast<double>(stairs.metrics().WorkUnits() - work_before);
+    state.counters["completions"] =
+        static_cast<double>(stairs.metrics().completions);
+    state.counters["incomplete_after_stage"] =
+        static_cast<double>(stairs.num_incomplete());
+  }
+}
+
+void BM_StairsEager(benchmark::State& state) {
+  RunStairs(state, StairsExecutor::MigrationPolicy::kEager);
+}
+void BM_StairsJisc(benchmark::State& state) {
+  RunStairs(state, StairsExecutor::MigrationPolicy::kLazyJisc);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_StairsEager)->DenseRange(4, 12, 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_StairsJisc)->DenseRange(4, 12, 2)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Section 5.1.2 (thrashing avoidance): in a highly dynamic environment the
+// optimizer keeps switching plans faster than windows turn over, so
+// transitions OVERLAP — earlier migrations never finish before the next one
+// lands. The paper argues this is where eager strategies fall apart:
+//   * Moving State recomputes whole states at every flip, mostly without
+//     payoff (counters: eager_inserts);
+//   * Parallel Track accumulates live plans (counter: max_live_plans) and
+//     multiplies processing + dedup cost;
+//   * JISC completes only the values that are actually probed between flips
+//     (counter: completions) and never halts.
+// range(0) = transitions per window turnover (higher = more dynamic).
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "migration/parallel_track.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kJoins = 10;
+
+struct ThrashResult {
+  double seconds = 0;
+  uint64_t work = 0;
+  uint64_t completions = 0;
+  uint64_t inserts = 0;
+  size_t max_live_plans = 1;
+};
+
+ThrashResult RunThrash(ProcessorKind kind, int flips_per_turnover) {
+  int streams = kJoins + 1;
+  uint64_t window = ScaledWindow();
+  size_t turnover = static_cast<size_t>(streams) * window;
+  size_t period = std::max<size_t>(1, turnover / flips_per_turnover);
+  size_t total = turnover * 4;
+
+  SourceConfig cfg;
+  cfg.num_streams = streams;
+  cfg.key_domain = DomainFor(window);
+  cfg.key_pattern = KeyPattern::kBottomFanout;
+  cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+  cfg.seed = 41;
+  SyntheticSource src(cfg);
+
+  auto order = Order(streams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  BuiltProcessor built =
+      MakeProcessor(kind, plan, WindowSpec::Uniform(streams, window));
+  WarmUp(built.processor.get(), &src, streams, window);
+
+  Rng rng(17);
+  auto cur = order;
+  ThrashResult r;
+  auto* pt = dynamic_cast<ParallelTrackProcessor*>(built.processor.get());
+  WallTimer timer;
+  size_t pushed = 0;
+  while (pushed < total) {
+    size_t chunk = std::min(period, total - pushed);
+    for (size_t i = 0; i < chunk; ++i) built.processor->Push(src.Next());
+    pushed += chunk;
+    if (pushed < total) {
+      cur = RandomTriangularSwap(cur, &rng);
+      Status s = built.processor->RequestTransition(
+          LogicalPlan::LeftDeep(cur, OpKind::kHashJoin));
+      JISC_CHECK(s.ok()) << s.ToString();
+    }
+    if (pt != nullptr) {
+      r.max_live_plans = std::max(r.max_live_plans, pt->num_live_plans());
+    }
+  }
+  r.seconds = timer.ElapsedSeconds();
+  r.work = built.processor->metrics().WorkUnits();
+  r.completions = built.processor->metrics().completions;
+  r.inserts = built.processor->metrics().inserts;
+  return r;
+}
+
+void RunBench(benchmark::State& state, ProcessorKind kind) {
+  int flips = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ThrashResult r = RunThrash(kind, flips);
+    state.SetIterationTime(r.seconds);
+    state.counters["work_units"] = static_cast<double>(r.work);
+    state.counters["completions"] = static_cast<double>(r.completions);
+    state.counters["inserts"] = static_cast<double>(r.inserts);
+    state.counters["max_live_plans"] = static_cast<double>(r.max_live_plans);
+  }
+}
+
+void BM_Jisc(benchmark::State& state) {
+  RunBench(state, ProcessorKind::kJisc);
+}
+void BM_MovingState(benchmark::State& state) {
+  RunBench(state, ProcessorKind::kMovingState);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunBench(state, ProcessorKind::kParallelTrack);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+#define FLIPS Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(jisc::bench::BM_Jisc)->FLIPS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_MovingState)->FLIPS->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->FLIPS->UseManualTime()
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

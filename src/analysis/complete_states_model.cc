@@ -1,0 +1,73 @@
+#include "analysis/complete_states_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+double HarmonicNumber(int n) {
+  JISC_CHECK(n >= 1);
+  double h = 0;
+  for (int r = 1; r <= n; ++r) h += 1.0 / r;
+  return h;
+}
+
+double AlphaN(int n) {
+  JISC_CHECK(n >= 2);
+  double hn = HarmonicNumber(n);
+  return 1.0 / (n * hn - n);
+}
+
+double ExpectedCompleteStates(int n) {
+  // E[C_n] = (2 n H_n - 3 n + 1) / (2 H_n - 2)  (Proposition 1),
+  // equivalently n - (n - 1) / (2 (H_n - 1)).
+  JISC_CHECK(n >= 2);
+  double hn = HarmonicNumber(n);
+  return (2.0 * n * hn - 3.0 * n + 1.0) / (2.0 * hn - 2.0);
+}
+
+double VarianceCompleteStates(int n) {
+  // Var[C_n] = (2 n^2 H_n - 5 n^2 + 6 n - 2 H_n - 1) / (12 (H_n - 1)^2)
+  // (Proposition 1). Derivation: E[(J-I)^2] = (n^2 - 1) / (6 (H_n - 1)),
+  // E[J-I] = (n - 1) / (2 (H_n - 1)).
+  JISC_CHECK(n >= 2);
+  double hn = HarmonicNumber(n);
+  double num = 2.0 * n * n * hn - 5.0 * n * n + 6.0 * n - 2.0 * hn - 1.0;
+  double den = 12.0 * (hn - 1.0) * (hn - 1.0);
+  return num / den;
+}
+
+double ExpectedCompleteStatesAsymptotic(int n) {
+  JISC_CHECK(n >= 2);
+  return n - n / (2.0 * std::log(n));
+}
+
+double VarianceCompleteStatesAsymptotic(int n) {
+  JISC_CHECK(n >= 2);
+  return static_cast<double>(n) * n / (6.0 * std::log(n));
+}
+
+MonteCarloResult SimulateCompleteStates(int n, int samples, double epsilon,
+                                        Rng* rng) {
+  JISC_CHECK(n >= 2);
+  JISC_CHECK(samples >= 1);
+  TriangularSwapDistribution dist(n);
+  double sum = 0;
+  double sum_sq = 0;
+  int64_t tail = 0;
+  for (int s = 0; s < samples; ++s) {
+    auto [i, j] = dist.Sample(rng);
+    double c = n - (j - i);  // Eq. (3)
+    sum += c;
+    sum_sq += c * c;
+    if (c / n < 1.0 - epsilon) ++tail;
+  }
+  MonteCarloResult r;
+  r.mean = sum / samples;
+  r.variance = sum_sq / samples - r.mean * r.mean;
+  r.tail_fraction = static_cast<double>(tail) / samples;
+  return r;
+}
+
+}  // namespace jisc

@@ -1,0 +1,49 @@
+#ifndef JISC_ANALYSIS_COMPLETE_STATES_MODEL_H_
+#define JISC_ANALYSIS_COMPLETE_STATES_MODEL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace jisc {
+
+// The probabilistic model of Section 5.2: a left-deep plan with n join
+// operators; a plan transition exchanges the streams at operator positions
+// (I, J), I < J, drawn from the triangular distribution
+// Prob(I=i, J=j) = alpha_n / (j - i). The number of complete states after
+// the transition is C_n = n - (J - I).
+
+// H_n, the n-th harmonic number.
+double HarmonicNumber(int n);
+
+// alpha_n = 1 / (n H_n - n), Eq. (2).
+double AlphaN(int n);
+
+// E[C_n] = (2 n H_n - 3 n + 1) / (2 H_n - 2), Proposition 1.
+double ExpectedCompleteStates(int n);
+
+// Var[C_n] = (2 n^2 H_n - 5 n^2 + 6 n - 2 H_n - 1) / (12 (H_n - 1)^2)
+// ... wait: the paper's printed closed form. We evaluate the variance
+// directly from the distribution (exactly) rather than trusting the
+// typeset formula; see complete_states_model.cc.
+double VarianceCompleteStates(int n);
+
+// Asymptotic approximations of Proposition 2:
+//   E[C_n] ~ n - n / (2 ln n),  Var[C_n] ~ n^2 / (6 ln n).
+double ExpectedCompleteStatesAsymptotic(int n);
+double VarianceCompleteStatesAsymptotic(int n);
+
+// Monte-Carlo estimate of E and Var of C_n (and of Prob(C_n/n < 1 - eps),
+// the concentration of Proposition 3).
+struct MonteCarloResult {
+  double mean = 0;
+  double variance = 0;
+  // Fraction of samples with C_n / n below 1 - epsilon.
+  double tail_fraction = 0;
+};
+MonteCarloResult SimulateCompleteStates(int n, int samples, double epsilon,
+                                        Rng* rng);
+
+}  // namespace jisc
+
+#endif  // JISC_ANALYSIS_COMPLETE_STATES_MODEL_H_

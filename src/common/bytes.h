@@ -1,0 +1,82 @@
+#ifndef JISC_COMMON_BYTES_H_
+#define JISC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace jisc {
+
+// Minimal little-endian binary writer for checkpoints.
+class ByteWriter {
+ public:
+  void PutU64(uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)));
+    out_.append(buf, 8);
+  }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    out_.append(s);
+  }
+
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked reader over a checkpoint buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  Status GetU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) {
+      return Status::OutOfRange("checkpoint truncated");
+    }
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *v = r;
+    return Status::Ok();
+  }
+
+  Status GetI64(int64_t* v) {
+    uint64_t u = 0;
+    Status s = GetU64(&u);
+    if (!s.ok()) return s;
+    *v = static_cast<int64_t>(u);
+    return Status::Ok();
+  }
+
+  Status GetString(std::string* out) {
+    uint64_t len = 0;
+    Status s = GetU64(&len);
+    if (!s.ok()) return s;
+    if (pos_ + len > data_.size()) {
+      return Status::OutOfRange("checkpoint truncated");
+    }
+    out->assign(data_, pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_BYTES_H_

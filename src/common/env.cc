@@ -1,0 +1,30 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace jisc {
+
+double GetEnvDouble(const std::string& name, double default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  double v = std::strtod(raw, &end);
+  if (end == raw) return default_value;
+  return v;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  int64_t v = std::strtoll(raw, &end, 10);
+  if (end == raw) return default_value;
+  return v;
+}
+
+double BenchScale() {
+  static const double scale = GetEnvDouble("JISC_BENCH_SCALE", 0.02);
+  return scale;
+}
+
+}  // namespace jisc

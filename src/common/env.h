@@ -1,0 +1,23 @@
+#ifndef JISC_COMMON_ENV_H_
+#define JISC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jisc {
+
+// Returns the value of environment variable `name` parsed as double, or
+// `default_value` when unset/unparsable. Used by the benchmark harness for
+// JISC_BENCH_SCALE.
+double GetEnvDouble(const std::string& name, double default_value);
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value);
+
+// The global benchmark scale factor (JISC_BENCH_SCALE, default 0.02).
+// 1.0 approximates paper scale (10M tuples, 10k windows); the default keeps
+// every bench under a couple of minutes on a single core.
+double BenchScale();
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_ENV_H_

@@ -1,0 +1,50 @@
+#ifndef JISC_COMMON_HASH_H_
+#define JISC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jisc {
+
+// 64-bit FNV-1a over raw bytes.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Mixes one 64-bit word into a running hash (boost::hash_combine-style but
+// with a 64-bit golden-ratio constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+// Finalizer for integer keys (splitmix64 mix); used as the hash function of
+// state hash tables so sequential keys spread well.
+inline uint64_t MixU64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+struct I64Hash {
+  size_t operator()(int64_t v) const {
+    return static_cast<size_t>(MixU64(static_cast<uint64_t>(v)));
+  }
+};
+
+struct U64Hash {
+  size_t operator()(uint64_t v) const { return static_cast<size_t>(MixU64(v)); }
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_HASH_H_

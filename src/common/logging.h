@@ -1,0 +1,71 @@
+#ifndef JISC_COMMON_LOGGING_H_
+#define JISC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace jisc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace jisc
+
+#define JISC_LOG(level)                                                \
+  ::jisc::internal_logging::LogMessage(::jisc::LogLevel::k##level,     \
+                                       __FILE__, __LINE__)             \
+      .stream()
+
+// Always-on invariant check. The engine uses it for internal invariants
+// whose violation means a bug, not a recoverable user error.
+#define JISC_CHECK(cond)                                                 \
+  if (cond) {                                                            \
+  } else /* NOLINT */                                                    \
+    ::jisc::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond) \
+        .stream()
+
+#ifdef NDEBUG
+#define JISC_DCHECK(cond) JISC_CHECK(true || (cond))
+#else
+#define JISC_DCHECK(cond) JISC_CHECK(cond)
+#endif
+
+#endif  // JISC_COMMON_LOGGING_H_

@@ -1,0 +1,131 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to seed the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  JISC_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  JISC_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  JISC_CHECK(n >= 1);
+  JISC_CHECK(s >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  // Binary search for the first cdf entry >= u.
+  uint64_t lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+TriangularSwapDistribution::TriangularSwapDistribution(int n) : n_(n) {
+  JISC_CHECK(n >= 2);
+  gap_cdf_.resize(n - 1);
+  double total = 0;
+  for (int d = 1; d <= n - 1; ++d) {
+    // Number of (i, j) pairs with j - i == d is (n - d); each has
+    // probability proportional to 1/d, so the gap weight is (n - d) / d.
+    total += static_cast<double>(n - d) / d;
+    gap_cdf_[d - 1] = total;
+  }
+  for (auto& c : gap_cdf_) c /= total;
+}
+
+std::pair<int, int> TriangularSwapDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  int d = 1;
+  {
+    int lo = 0, hi = n_ - 2;
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (gap_cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    d = lo + 1;
+  }
+  // Given the gap d, the lower position i is uniform over [1, n - d].
+  int i = 1 + static_cast<int>(rng->UniformU64(static_cast<uint64_t>(n_ - d)));
+  return {i, i + d};
+}
+
+double TriangularSwapDistribution::GapProbability(int d) const {
+  if (d < 1 || d > n_ - 1) return 0;
+  double prev = (d == 1) ? 0.0 : gap_cdf_[d - 2];
+  return gap_cdf_[d - 1] - prev;
+}
+
+}  // namespace jisc

@@ -1,0 +1,87 @@
+#ifndef JISC_COMMON_RANDOM_H_
+#define JISC_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace jisc {
+
+// Deterministic pseudo-random generator (xoshiro256**). Workloads seed it
+// explicitly so every experiment is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf(s) sampler over {0, ..., n-1} with precomputed CDF; used for skewed
+// key workloads (the fresh/attempted ablation).
+class ZipfDistribution {
+ public:
+  // Precondition: n >= 1, s >= 0. s == 0 degenerates to uniform.
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+// Samples a pair (i, j), 1 <= i < j <= n, from the paper's triangular swap
+// distribution: Prob(I=i, J=j) proportional to 1/(j-i) (Eq. 1 of Section 5.2).
+// Used by the Section 5 analysis and by the workload generator to pick which
+// two streams exchange positions at a plan transition.
+class TriangularSwapDistribution {
+ public:
+  // Precondition: n >= 2 (there must be at least one swappable pair).
+  explicit TriangularSwapDistribution(int n);
+
+  // Returns {i, j} with 1 <= i < j <= n.
+  std::pair<int, int> Sample(Rng* rng) const;
+
+  // Prob(J - I = d), for d in [1, n-1]; 0 otherwise.
+  double GapProbability(int d) const;
+
+  int n() const { return n_; }
+
+ private:
+  int n_;
+  // cdf over the gap d = j - i, d in [1, n-1]; weight of d is (n-d)/d.
+  std::vector<double> gap_cdf_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_RANDOM_H_

@@ -1,0 +1,103 @@
+#include "common/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth)
+    : width_(width), depth_(depth), cells_(width * depth, 0) {
+  JISC_CHECK(width_ >= 1);
+  JISC_CHECK(depth_ >= 1);
+}
+
+size_t CountMinSketch::Cell(size_t row, uint64_t key) const {
+  // Row-salted mixing; each row is an independent-enough hash.
+  uint64_t h = MixU64(key ^ (0x9e3779b97f4a7c15ULL * (row + 1)));
+  return row * width_ + static_cast<size_t>(h % width_);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (size_t row = 0; row < depth_; ++row) {
+    cells_[Cell(row, key)] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = ~0ULL;
+  for (size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, cells_[Cell(row, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  JISC_CHECK(width_ == other.width_ && depth_ == other.depth_);
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+void CountMinSketch::Clear() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+  total_ = 0;
+}
+
+HyperLogLog::HyperLogLog(int precision)
+    : precision_(precision),
+      m_(size_t{1} << precision),
+      registers_(m_, 0) {
+  JISC_CHECK(precision_ >= 4);
+  JISC_CHECK(precision_ <= 18);
+  // Standard bias constants.
+  if (m_ == 16) {
+    alpha_ = 0.673;
+  } else if (m_ == 32) {
+    alpha_ = 0.697;
+  } else if (m_ == 64) {
+    alpha_ = 0.709;
+  } else {
+    alpha_ = 0.7213 / (1.0 + 1.079 / static_cast<double>(m_));
+  }
+}
+
+void HyperLogLog::Add(uint64_t key) {
+  uint64_t h = MixU64(key);
+  size_t idx = static_cast<size_t>(h >> (64 - precision_));
+  uint64_t rest = h << precision_;
+  int rank = rest == 0 ? (64 - precision_ + 1)
+                       : (__builtin_clzll(rest) + 1);
+  registers_[idx] = std::max<uint8_t>(registers_[idx],
+                                      static_cast<uint8_t>(rank));
+}
+
+double HyperLogLog::Estimate() const {
+  double sum = 0;
+  int zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double m = static_cast<double>(m_);
+  double raw = alpha_ * m * m / sum;
+  // Small-range correction (linear counting).
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / zeros);
+  }
+  return raw;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  JISC_CHECK(precision_ == other.precision_);
+  for (size_t i = 0; i < m_; ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+void HyperLogLog::Clear() {
+  std::fill(registers_.begin(), registers_.end(), 0);
+}
+
+}  // namespace jisc

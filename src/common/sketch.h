@@ -1,0 +1,65 @@
+#ifndef JISC_COMMON_SKETCH_H_
+#define JISC_COMMON_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace jisc {
+
+// Count-Min sketch over 64-bit keys: frequency estimation with one-sided
+// (over-)estimation error. At paper scale the optimize-at-runtime trigger
+// cannot afford exact per-value statistics; sketches are the standard
+// substitute (width w, depth d give error <= e*N/w with prob 1-2^-d-ish).
+class CountMinSketch {
+ public:
+  CountMinSketch(size_t width, size_t depth);
+
+  void Add(uint64_t key, uint64_t count = 1);
+  // Point estimate; never underestimates the true count.
+  uint64_t Estimate(uint64_t key) const;
+
+  uint64_t total() const { return total_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  void Merge(const CountMinSketch& other);
+  void Clear();
+
+ private:
+  size_t Cell(size_t row, uint64_t key) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cells_;  // depth x width
+};
+
+// HyperLogLog distinct-count estimator over 64-bit keys (2^precision
+// registers; standard error ~ 1.04 / sqrt(m)). Used to estimate a stream's
+// distinct join values -- the quantity the Section 4.3 counters and the
+// adaptive trigger's fan-out scores are built from -- without storing the
+// values.
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision = 12);  // 4096 registers
+
+  void Add(uint64_t key);
+  double Estimate() const;
+
+  void Merge(const HyperLogLog& other);
+  void Clear();
+
+  int precision() const { return precision_; }
+
+ private:
+  int precision_;
+  size_t m_;  // number of registers
+  double alpha_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_SKETCH_H_

@@ -1,0 +1,76 @@
+#ifndef JISC_COMMON_STATS_H_
+#define JISC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jisc {
+
+// Welford running mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Fixed-bucket latency/size histogram with percentile queries. Buckets are
+// exponential (powers of 2) over [0, 2^62).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+  // Approximate percentile (bucket upper bound); q in [0, 1].
+  uint64_t Percentile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Throughput series: records per-bucket event counts against a logical clock
+// (e.g. tuples processed per 10k-tuple interval) so migration-stage drops are
+// visible in benchmarks.
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(uint64_t bucket_width);
+
+  // Records `n` events at logical time `t`.
+  void Record(uint64_t t, uint64_t n = 1);
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  uint64_t bucket_width() const { return bucket_width_; }
+
+ private:
+  uint64_t bucket_width_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_STATS_H_

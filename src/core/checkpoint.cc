@@ -1,0 +1,169 @@
+#include "core/checkpoint.h"
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "plan/plan_text.h"
+
+namespace jisc {
+
+namespace {
+constexpr uint64_t kMagic = 0x4a49534343505431ULL;  // "JISCCPT1"
+}  // namespace
+
+StatusOr<std::string> CheckpointEngine(Engine& engine) {
+  if (engine.buffered() != 0) {
+    return Status::FailedPrecondition(
+        "checkpoint requires an empty arrival buffer (call Drain first)");
+  }
+  PipelineExecutor& exec = engine.executor();
+  for (int id = 0; id < exec.num_ops(); ++id) {
+    if (!exec.op(id)->state().complete()) {
+      return Status::FailedPrecondition(
+          "checkpoint requires all states complete (migration in flight)");
+    }
+  }
+
+  ByteWriter w;
+  w.PutU64(kMagic);
+  w.PutString(engine.plan().ToString());
+  const WindowSpec& windows = engine.windows();
+  w.PutU64(windows.time_based() ? 1 : 0);
+  w.PutU64(static_cast<uint64_t>(windows.num_streams()));
+  for (int s = 0; s < windows.num_streams(); ++s) {
+    w.PutU64(windows.SizeFor(static_cast<StreamId>(s)));
+  }
+  w.PutU64(engine.next_stamp());
+  w.PutU64(engine.max_seq_seen());
+
+  w.PutU64(static_cast<uint64_t>(exec.num_ops()));
+  for (int id = 0; id < exec.num_ops(); ++id) {
+    const OperatorState& st = exec.op(id)->state();
+    w.PutU64(st.id().bits());
+    w.PutU64(st.live_size());
+    st.ForEachLiveEntry([&](const Tuple& t, Stamp insert_stamp) {
+      w.PutU64(insert_stamp);
+      w.PutU64(t.parts().size());
+      for (const BaseTuple& p : t.parts()) {
+        w.PutU64(p.stream);
+        w.PutI64(p.key);
+        w.PutI64(p.payload);
+        w.PutU64(p.seq);
+        w.PutU64(p.ts);
+      }
+    });
+  }
+  return w.Take();
+}
+
+StatusOr<std::unique_ptr<Engine>> RestoreEngine(
+    const std::string& bytes, Sink* sink,
+    std::unique_ptr<MigrationStrategy> strategy, Engine::Options options) {
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  Status s = r.GetU64(&magic);
+  if (!s.ok()) return s;
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a JISC checkpoint");
+  }
+  std::string plan_text;
+  s = r.GetString(&plan_text);
+  if (!s.ok()) return s;
+  auto plan = ParsePlan(plan_text);
+  if (!plan.ok()) return plan.status();
+
+  uint64_t time_based = 0;
+  s = r.GetU64(&time_based);
+  if (!s.ok()) return s;
+  uint64_t num_streams = 0;
+  s = r.GetU64(&num_streams);
+  if (!s.ok()) return s;
+  if (num_streams == 0 || num_streams > kMaxStreams) {
+    return Status::InvalidArgument("corrupt window section");
+  }
+  std::vector<uint64_t> sizes(num_streams);
+  for (uint64_t i = 0; i < num_streams; ++i) {
+    s = r.GetU64(&sizes[i]);
+    if (!s.ok()) return s;
+    if (sizes[i] == 0) return Status::InvalidArgument("zero window size");
+  }
+  WindowSpec windows = time_based != 0
+                           ? WindowSpec::PerStreamTime(std::move(sizes))
+                           : WindowSpec::PerStream(std::move(sizes));
+
+  uint64_t next_stamp = 0;
+  uint64_t max_seq = 0;
+  s = r.GetU64(&next_stamp);
+  if (!s.ok()) return s;
+  s = r.GetU64(&max_seq);
+  if (!s.ok()) return s;
+
+  uint64_t num_ops = 0;
+  s = r.GetU64(&num_ops);
+  if (!s.ok()) return s;
+  if (static_cast<int>(num_ops) != plan.value().num_nodes()) {
+    return Status::InvalidArgument("state section does not match the plan");
+  }
+
+  StatePool pool;
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    uint64_t bits = 0;
+    s = r.GetU64(&bits);
+    if (!s.ok()) return s;
+    const PlanNode& node = plan.value().node(static_cast<int>(i));
+    if (node.streams.bits() != bits) {
+      return Status::InvalidArgument("state identity mismatch");
+    }
+    StateIndex index = node.kind == OpKind::kNljJoin ? StateIndex::kList
+                                                     : StateIndex::kHash;
+    auto st = std::make_unique<OperatorState>(node.streams, index);
+    uint64_t entries = 0;
+    s = r.GetU64(&entries);
+    if (!s.ok()) return s;
+    for (uint64_t e = 0; e < entries; ++e) {
+      uint64_t insert_stamp = 0;
+      s = r.GetU64(&insert_stamp);
+      if (!s.ok()) return s;
+      uint64_t parts = 0;
+      s = r.GetU64(&parts);
+      if (!s.ok()) return s;
+      if (parts == 0 || parts > static_cast<uint64_t>(kMaxStreams)) {
+        return Status::InvalidArgument("corrupt combination");
+      }
+      std::vector<BaseTuple> bases(parts);
+      for (uint64_t pi = 0; pi < parts; ++pi) {
+        uint64_t stream = 0;
+        s = r.GetU64(&stream);
+        if (!s.ok()) return s;
+        if (stream >= static_cast<uint64_t>(kMaxStreams)) {
+          return Status::InvalidArgument("corrupt stream id");
+        }
+        bases[pi].stream = static_cast<StreamId>(stream);
+        s = r.GetI64(&bases[pi].key);
+        if (!s.ok()) return s;
+        s = r.GetI64(&bases[pi].payload);
+        if (!s.ok()) return s;
+        s = r.GetU64(&bases[pi].seq);
+        if (!s.ok()) return s;
+        s = r.GetU64(&bases[pi].ts);
+        if (!s.ok()) return s;
+      }
+      st->Insert(Tuple::FromParts(std::move(bases), insert_stamp),
+                 insert_stamp);
+    }
+    pool.Put(std::move(st));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+
+  auto engine = std::make_unique<Engine>(plan.value(), windows, sink,
+                                         std::move(strategy), options);
+  auto exec = std::make_unique<PipelineExecutor>(plan.value(), windows,
+                                                 options.exec, &pool);
+  engine->ReplaceExecutor(std::move(exec));
+  engine->RestoreClocks(next_stamp, max_seq);
+  return engine;
+}
+
+}  // namespace jisc

@@ -1,0 +1,34 @@
+#ifndef JISC_CORE_CHECKPOINT_H_
+#define JISC_CORE_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+
+namespace jisc {
+
+// Engine state checkpointing. A checkpoint captures the plan, window
+// specification, event clocks, and every operator state's live entries;
+// restoring it yields an engine whose future behaviour is
+// tuple-for-tuple identical to the original's (same outputs, same expiry
+// schedule).
+//
+// Checkpoints require quiescence: the engine must have no buffered
+// arrivals and no incomplete states (i.e., not be mid-migration) — the
+// transient JISC bookkeeping (freshness, completion trackers) is then
+// empty by construction and need not be captured.
+StatusOr<std::string> CheckpointEngine(Engine& engine);
+
+// Rebuilds an engine from a checkpoint. `sink`, `strategy` and `options`
+// are supplied fresh (they are behaviour, not state); `options.exec` must
+// match the checkpointed query's predicate configuration. Metrics restart
+// from zero.
+StatusOr<std::unique_ptr<Engine>> RestoreEngine(
+    const std::string& bytes, Sink* sink,
+    std::unique_ptr<MigrationStrategy> strategy,
+    Engine::Options options = Engine::Options());
+
+}  // namespace jisc
+
+#endif  // JISC_CORE_CHECKPOINT_H_

@@ -1,0 +1,86 @@
+#include "core/completion_tracker.h"
+
+#include "common/logging.h"
+
+namespace jisc {
+
+CompletionTracker::CompletionTracker(Operator* op, Stamp since_stamp,
+                                     Seq boundary_seq, bool paper_case3)
+    : op_(op),
+      since_stamp_(since_stamp),
+      boundary_seq_(boundary_seq),
+      paper_case3_(paper_case3) {
+  JISC_CHECK(op_->kind() != OpKind::kScan);
+  const Operator* left = op_->left();
+  const Operator* right = op_->right();
+  bool lc = left->state().complete();
+  bool rc = right->state().complete();
+  if (lc && rc) {
+    init_case_ = InitCase::kBothComplete;
+    // Paper Case 1: the smaller of the two children's distinct value counts.
+    // Only the choice of reference child is made here; the value set is
+    // snapshotted lazily by the first SweepExpired (see header).
+    reference_child_ = left->state().DistinctLiveKeys() <=
+                               right->state().DistinctLiveKeys()
+                           ? left
+                           : right;
+  } else if (lc || rc) {
+    init_case_ = InitCase::kOneComplete;
+    // Paper Case 2: the complete child's distinct values.
+    reference_child_ = lc ? left : right;
+  } else {
+    init_case_ = InitCase::kNoneComplete;
+    // Deferred until both children are complete (ResolveDeferred).
+  }
+}
+
+void CompletionTracker::InitPendingFrom(const Operator* reference_child) {
+  reference_child_ = reference_child;
+  pending_.clear();
+  for (JoinKey v : reference_child->state().LiveKeys()) {
+    // Values already completed at this state (carried over from an earlier
+    // overlapped transition) need no further work.
+    if (!op_->state().IsKeyCompleted(v)) pending_.insert(v);
+  }
+  initialized_ = true;
+}
+
+void CompletionTracker::SweepExpired() {
+  if (reference_child_ == nullptr) return;
+  if (!initialized_) {
+    InitPendingFrom(reference_child_);
+    return;
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!reference_child_->state().ContainsKeyLive(*it)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CompletionTracker::ResolveDeferred() {
+  if (initialized_ || paper_case3_done_) return;
+  const Operator* left = op_->left();
+  const Operator* right = op_->right();
+  if (!left->state().complete() || !right->state().complete()) return;
+  if (paper_case3_) {
+    // Paper Section 4.3, Case 3: "JISC detects that a state is complete
+    // whenever the states of both its right and left operators get
+    // completed."
+    paper_case3_done_ = true;
+    return;
+  }
+  InitPendingFrom(left->state().DistinctLiveKeys() <=
+                          right->state().DistinctLiveKeys()
+                      ? left
+                      : right);
+}
+
+bool CompletionTracker::Done() const {
+  if (paper_case3_done_) return true;
+  return initialized_ && pending_.empty();
+}
+
+}  // namespace jisc

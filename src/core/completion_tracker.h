@@ -1,0 +1,80 @@
+#ifndef JISC_CORE_COMPLETION_TRACKER_H_
+#define JISC_CORE_COMPLETION_TRACKER_H_
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "exec/operator.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// State-completion detection for one incomplete state (Section 4.3).
+//
+// The paper keeps an integer counter initialized from the number of distinct
+// join-attribute values in a child state (Cases 1-3) and decrements it as
+// values are completed. We track the actual pending-value set so the counter
+// stays exact when values expire from the window before ever being attempted
+// (DESIGN.md divergence 2); Done() corresponds to the paper's counter
+// reaching zero.
+//
+// Case 3 (both children incomplete) is deferred: once both children have
+// become complete, the pending set is initialized from the then-current
+// child keys. (The paper instead declares the state complete as soon as
+// both children are; see DESIGN.md divergence 5. That rule is available as
+// `paper_case3`.)
+class CompletionTracker {
+ public:
+  enum class InitCase { kBothComplete, kOneComplete, kNoneComplete };
+
+  // `since_stamp`: stamp of the transition that made the state incomplete
+  // (completion-materialized entries are inserted at this stamp).
+  // `boundary_seq`: base tuples with seq < boundary_seq are "old"; when all
+  // of them have expired from the windows below, the state is trivially
+  // complete (the window-turnover fallback).
+  CompletionTracker(Operator* op, Stamp since_stamp, Seq boundary_seq,
+                    bool paper_case3 = false);
+
+  Operator* op() const { return op_; }
+  Stamp since_stamp() const { return since_stamp_; }
+  Seq boundary_seq() const { return boundary_seq_; }
+  InitCase init_case() const { return init_case_; }
+  bool initialized() const { return initialized_; }
+  size_t pending() const { return pending_.size(); }
+
+  // A value's entries were materialized (or proven empty) at this state.
+  void OnKeyCompleted(JoinKey key) { pending_.erase(key); }
+
+  // Retires pending values with no live entry left in the reference child
+  // (their missing combinations cannot exist anymore). Also performs the
+  // deferred pending-set snapshot on its first call: the transition itself
+  // only records which child seeds the counter (O(1), like the paper's
+  // integer initialization); the set is built during the first periodic
+  // sweep. Snapshotting later is sound -- the key set only gains
+  // post-transition keys, which makes the counter conservative.
+  void SweepExpired();
+
+  // Called by the periodic sweep when both children are (now) complete;
+  // resolves a deferred Case 3 initialization. Idempotent.
+  void ResolveDeferred();
+
+  // Declared complete? (Pending set initialized and empty.)
+  bool Done() const;
+
+ private:
+  void InitPendingFrom(const Operator* reference_child);
+
+  Operator* op_;
+  Stamp since_stamp_;
+  Seq boundary_seq_;
+  bool paper_case3_;
+  InitCase init_case_;
+  bool initialized_ = false;
+  bool paper_case3_done_ = false;
+  const Operator* reference_child_ = nullptr;
+  std::unordered_set<JoinKey, I64Hash> pending_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_CORE_COMPLETION_TRACKER_H_

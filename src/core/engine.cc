@@ -1,0 +1,94 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/validate.h"
+
+namespace jisc {
+
+Engine::Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+               std::unique_ptr<MigrationStrategy> strategy)
+    : Engine(plan, windows, sink, std::move(strategy), Options()) {}
+
+Engine::Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+               std::unique_ptr<MigrationStrategy> strategy, Options options)
+    : windows_(windows),
+      options_(options),
+      sink_(sink),
+      strategy_(std::move(strategy)),
+      freshness_(windows.num_streams()) {
+  JISC_CHECK(strategy_ != nullptr);
+  JISC_CHECK(plan.streams().size() <= windows_.num_streams());
+  exec_ = std::make_unique<PipelineExecutor>(plan, windows_, options_.exec);
+  WireExecutor();
+}
+
+uint64_t Engine::StateMemory() const { return StateMemoryBytes(*exec_); }
+
+void Engine::WireExecutor() {
+  exec_->SetSink(sink_);
+  exec_->SetMetrics(&metrics_);
+  exec_->SetFreshness(options_.track_freshness ? &freshness_ : nullptr);
+  exec_->SetCompletionHandler(strategy_->handler());
+}
+
+void Engine::Push(const BaseTuple& tuple) {
+  if (!buffer_.empty()) Drain();
+  Admit(tuple);
+  if (++events_since_maintain_ >= options_.maintain_period) {
+    events_since_maintain_ = 0;
+    strategy_->Maintain(this);
+  }
+}
+
+void Engine::Admit(const BaseTuple& tuple) {
+  Stamp stamp = AllocateStamp();
+  max_seq_seen_ = std::max(max_seq_seen_, tuple.seq);
+  strategy_->OnArrival(this, tuple, stamp);
+  exec_->PushArrival(tuple, stamp);
+  exec_->RunUntilIdle();
+}
+
+void Engine::PushNoDrain(const BaseTuple& tuple) {
+  if (options_.max_buffered_arrivals > 0 &&
+      buffer_.size() >= options_.max_buffered_arrivals) {
+    ++shed_tuples_;  // drop-newest load shedding
+    return;
+  }
+  buffer_.push_back(tuple);
+}
+
+void Engine::Drain() {
+  while (!buffer_.empty()) {
+    BaseTuple t = buffer_.front();
+    buffer_.pop_front();
+    Admit(t);
+  }
+}
+
+Status Engine::RequestTransition(const LogicalPlan& new_plan) {
+  Status valid = new_plan.Validate();
+  if (!valid.ok()) return valid;
+  if (!(new_plan.streams() == plan().streams())) {
+    return Status::InvalidArgument(
+        "new plan must cover the same streams as the old plan");
+  }
+  // Section 4.1 (safe plan transition): all tuples received before the
+  // transition are processed through the old plan first (buffer clearing).
+  Drain();
+  freshness_.BumpGeneration();
+  ++transitions_;
+  Status s = strategy_->Migrate(this, new_plan);
+  if (!s.ok()) return s;
+  // The strategy installed the successor executor via ReplaceExecutor.
+  return Status::Ok();
+}
+
+void Engine::ReplaceExecutor(std::unique_ptr<PipelineExecutor> exec) {
+  JISC_CHECK(exec != nullptr);
+  exec_ = std::move(exec);
+  WireExecutor();
+}
+
+}  // namespace jisc

@@ -1,0 +1,113 @@
+#ifndef JISC_CORE_ENGINE_H_
+#define JISC_CORE_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "core/freshness_tracker.h"
+#include "core/migration_strategy.h"
+#include "exec/pipeline_executor.h"
+#include "exec/stream_processor.h"
+
+namespace jisc {
+
+// The pipelined continuous-query engine: one live plan, event-driven
+// execution, and pluggable plan migration (Moving State or JISC; the
+// Parallel Track strategy runs several plans and has its own processor).
+//
+// Event model: every Push is one external event. The arrival is enqueued at
+// its stream's scan and the cascade (including window expiry) is processed
+// to quiescence before the call returns, so queues are empty between
+// events. PushNoDrain/Drain expose the buffered mode used to exercise the
+// Section 4.1 queue-clearing phase explicitly.
+class Engine : public StreamProcessor {
+ public:
+  struct Options {
+    PipelineExecutor::Options exec;
+    // Events between strategy Maintain() sweeps (completion detection).
+    uint64_t maintain_period = 256;
+    // Track Definition-2 freshness per arrival. Disabling it yields the
+    // plain symmetric-hash-join pipeline the paper compares against in
+    // Fig. 9a (transitions then require a strategy that does not rely on
+    // freshness, e.g. Moving State).
+    bool track_freshness = true;
+    // Load shedding (Section 2.1 treats it as orthogonal; this is the
+    // standard drop-newest policy): when the buffered-arrival queue exceeds
+    // this bound, PushNoDrain drops the arrival and counts it. 0 = never.
+    size_t max_buffered_arrivals = 0;
+  };
+
+  Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+         std::unique_ptr<MigrationStrategy> strategy, Options options);
+  Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+         std::unique_ptr<MigrationStrategy> strategy);
+
+  // --- StreamProcessor ---
+  std::string name() const override { return strategy_->name(); }
+  void Push(const BaseTuple& tuple) override;
+  Status RequestTransition(const LogicalPlan& new_plan) override;
+  const Metrics& metrics() const override { return metrics_; }
+  uint64_t StateMemory() const override;
+
+  // Buffered admission: appends to the engine's arrival queue without
+  // processing; Drain() admits the buffered events one at a time (each
+  // cascade runs to quiescence before the next event) through the current
+  // plan -- the input-queue model of Section 2.1 / 4.1.
+  void PushNoDrain(const BaseTuple& tuple);
+  void Drain();
+  size_t buffered() const { return buffer_.size(); }
+
+  // --- accessors ---
+  PipelineExecutor& executor() { return *exec_; }
+  const LogicalPlan& plan() const { return exec_->plan(); }
+  const WindowSpec& windows() const { return windows_; }
+  const PipelineExecutor::Options& exec_options() const {
+    return options_.exec;
+  }
+  Metrics& mutable_metrics() { return metrics_; }
+  FreshnessTracker& freshness() { return freshness_; }
+  MigrationStrategy& strategy() { return *strategy_; }
+  Sink* sink() { return sink_; }
+  Seq max_seq_seen() const { return max_seq_seen_; }
+  uint64_t transitions() const { return transitions_; }
+  uint64_t shed_tuples() const { return shed_tuples_; }
+
+  // --- strategy support ---
+  // Installs a successor executor (built by the strategy) and rewires the
+  // sink/metrics/handler/freshness environment on it.
+  void ReplaceExecutor(std::unique_ptr<PipelineExecutor> exec);
+  // Allocates the next global event stamp (the transition itself consumes
+  // one, so completion-materialized entries sort before later arrivals).
+  Stamp AllocateStamp() { return next_stamp_++; }
+  Stamp next_stamp() const { return next_stamp_; }
+  // Checkpoint-restore support: resets the event clocks so a restored
+  // engine continues exactly where the checkpointed one stopped.
+  void RestoreClocks(Stamp next_stamp, Seq max_seq) {
+    next_stamp_ = next_stamp;
+    max_seq_seen_ = max_seq;
+  }
+
+ private:
+  void WireExecutor();
+  // Admits one event and processes its cascade to quiescence.
+  void Admit(const BaseTuple& tuple);
+
+  WindowSpec windows_;
+  Options options_;
+  Sink* sink_;
+  std::unique_ptr<MigrationStrategy> strategy_;
+  Metrics metrics_;
+  FreshnessTracker freshness_;
+  std::unique_ptr<PipelineExecutor> exec_;
+  std::deque<BaseTuple> buffer_;
+  Stamp next_stamp_ = 1;
+  Seq max_seq_seen_ = 0;
+  uint64_t transitions_ = 0;
+  uint64_t shed_tuples_ = 0;
+  uint64_t events_since_maintain_ = 0;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_CORE_ENGINE_H_

@@ -1,0 +1,369 @@
+#include "core/jisc_runtime.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/nested_loops_join.h"
+#include "plan/plan_diff.h"
+
+namespace jisc {
+
+JiscRuntime::JiscRuntime(JiscOptions options) : options_(options) {}
+
+JiscRuntime::~JiscRuntime() = default;
+
+const CompletionTracker* JiscRuntime::tracker(int node_id) const {
+  auto it = trackers_.find(node_id);
+  return it == trackers_.end() ? nullptr : it->second.get();
+}
+
+Stamp JiscRuntime::SinceStampFor(const Operator* op) const {
+  auto it = trackers_.find(op->node_id());
+  JISC_CHECK(it != trackers_.end())
+      << "incomplete state without a tracker: " << op->DebugString();
+  return it->second->since_stamp();
+}
+
+Status JiscRuntime::Migrate(Engine* engine, const LogicalPlan& new_plan) {
+  engine_ = engine;
+  PipelineExecutor& old_exec = engine->executor();
+
+  // Definition 1 refined by Section 4.5: completeness in the new plan
+  // requires existence *and* completeness in the old plan.
+  StateSnapshot snapshot = old_exec.SnapshotCompleteness();
+  PlanDiff diff = DiffPlans(new_plan, snapshot);
+
+  // Provenance of still-incomplete carried states: keep the earliest
+  // since-stamp / boundary so their old combinations stay covered.
+  struct Provenance {
+    Stamp since;
+    Seq boundary;
+  };
+  std::unordered_map<uint64_t, Provenance, U64Hash> carried;
+  for (const auto& [id, tr] : trackers_) {
+    (void)id;
+    carried[tr->op()->streams().bits()] = {tr->since_stamp(),
+                                           tr->boundary_seq()};
+  }
+  trackers_.clear();
+
+  StatePool pool = old_exec.TakeAllStates();
+  auto new_exec = std::make_unique<PipelineExecutor>(
+      new_plan, engine->windows(), engine->exec_options(), &pool);
+  // Remaining pool entries are the old plan's discarded states; they die
+  // with `pool` here (Section 4.1).
+
+  Stamp transition_stamp = engine->AllocateStamp();
+  Seq boundary = engine->max_seq_seen() + 1;
+
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    Operator* op = new_exec->op(id);
+    if (diff.node_complete[id] || op->kind() == OpKind::kScan) {
+      op->state().MarkComplete();
+    } else {
+      op->state().MarkIncomplete();
+    }
+  }
+  // Trackers are created children-first so each sees its children's final
+  // completeness flags (Cases 1-3 of Section 4.3).
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    Operator* op = new_exec->op(id);
+    if (op->state().complete()) continue;
+    Stamp since = transition_stamp;
+    Seq bound = boundary;
+    auto it = carried.find(op->streams().bits());
+    if (it != carried.end()) {
+      since = std::min(since, it->second.since);
+      bound = std::min(bound, it->second.boundary);
+    }
+    trackers_[id] = std::make_unique<CompletionTracker>(
+        op, since, bound, options_.paper_case3);
+  }
+  current_plan_left_deep_ = new_plan.IsLeftDeep();
+  engine->ReplaceExecutor(std::move(new_exec));
+  return Status::Ok();
+}
+
+void JiscRuntime::Maintain(Engine* engine) {
+  if (trackers_.empty()) return;
+  engine_ = engine;
+  std::vector<int> ids;
+  ids.reserve(trackers_.size());
+  for (const auto& [id, tr] : trackers_) {
+    (void)tr;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());  // children before parents
+  for (int id : ids) {
+    auto it = trackers_.find(id);
+    if (it == trackers_.end()) continue;
+    CompletionTracker* tr = it->second.get();
+    bool done = false;
+    if (options_.detection == JiscOptions::DetectionMode::kCounter) {
+      tr->SweepExpired();
+      tr->ResolveDeferred();
+      done = tr->Done();
+    }
+    if (!done) done = SubtreeTurnedOver(tr->op());
+    if (done) MarkStateComplete(tr->op());
+  }
+}
+
+bool JiscRuntime::SubtreeTurnedOver(const Operator* op) const {
+  JISC_CHECK(engine_ != nullptr);
+  auto it = trackers_.find(op->node_id());
+  JISC_CHECK(it != trackers_.end());
+  Seq boundary = it->second->boundary_seq();
+  PipelineExecutor& exec = engine_->executor();
+  for (StreamId s : op->streams().ToVector()) {
+    StreamScan* scan = exec.scan(s);
+    JISC_CHECK(scan != nullptr);
+    if (scan->window_fill() == 0) continue;
+    if (scan->OldestLiveSeq() < boundary) return false;
+  }
+  return true;
+}
+
+void JiscRuntime::MarkStateComplete(Operator* op) {
+  op->state().MarkComplete();
+  trackers_.erase(op->node_id());
+}
+
+void JiscRuntime::OnArrival(Engine* engine, const BaseTuple& base,
+                            Stamp stamp) {
+  if (options_.completion_mode != JiscOptions::CompletionMode::kOnFirstReceipt)
+    return;
+  if (trackers_.empty()) return;
+  engine_ = engine;
+  if (!engine->freshness().IsFresh(base.stream, base.key)) return;
+  // Complete this value at every incomplete state, children first.
+  std::vector<int> ids;
+  for (const auto& [id, tr] : trackers_) {
+    (void)tr;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  Metrics* metrics = &engine->mutable_metrics();
+  for (int id : ids) {
+    auto it = trackers_.find(id);
+    if (it == trackers_.end()) continue;
+    Operator* op = it->second->op();
+    if (op->state().index() == StateIndex::kList) {
+      CompleteFull(op, stamp, metrics);
+    } else {
+      CompleteForKey(op, base.key, stamp, metrics);
+    }
+  }
+}
+
+void JiscRuntime::EnsureCompleted(const Tuple& probe, Operator* opposite,
+                                  ExecContext* ctx) {
+  if (opposite->state().complete()) return;
+  if (opposite->state().index() == StateIndex::kList) {
+    CompleteFull(opposite, ctx->stamp, ctx->metrics);
+    return;
+  }
+  if (current_plan_left_deep_ && options_.use_left_deep_procedure) {
+    CompleteForKeyLeftDeep(opposite, probe.key(), ctx->stamp, ctx->metrics);
+  } else {
+    CompleteForKey(opposite, probe.key(), ctx->stamp, ctx->metrics);
+  }
+}
+
+bool JiscRuntime::RemovalMayStopAtIncomplete(const BaseTuple& base,
+                                             const Operator* at,
+                                             ExecContext* ctx) {
+  (void)ctx;
+  if (at->state().IsKeyCompleted(base.key)) return true;
+  if (options_.completion_mode ==
+          JiscOptions::CompletionMode::kOnFirstReceipt &&
+      engine_ != nullptr &&
+      !engine_->freshness().IsFresh(base.stream, base.key)) {
+    // Section 4.4: attempted values have complete entries at every state.
+    return true;
+  }
+  return false;
+}
+
+void JiscRuntime::CollectThetaMatches(const Tuple& probe, Operator* opposite,
+                                      ExecContext* ctx,
+                                      std::vector<Tuple>* out) {
+  OperatorState& st = opposite->state();
+  if (opposite->kind() == OpKind::kScan || st.complete()) {
+    // Materialized: scan it. The probe's theta is the parent's, but every
+    // nested-loops operator in a plan shares the query's ThetaSpec.
+    auto* parent = static_cast<NestedLoopsJoin*>(opposite->parent());
+    const ThetaSpec& theta = parent->theta();
+    uint64_t scanned = 0;
+    st.ForEachVisible(ctx->stamp, [&](const Tuple& e) {
+      ++scanned;
+      if (theta.Matches(probe, e)) out->push_back(e);
+    });
+    if (ctx->metrics != nullptr) ctx->metrics->probe_entries += scanned;
+    return;
+  }
+  if (st.index() != StateIndex::kList) {
+    // Mixed plan: an incomplete equi/set state under a theta parent is
+    // completed in full, then scanned.
+    CompleteFull(opposite, ctx->stamp, ctx->metrics);
+    CollectThetaMatches(probe, opposite, ctx, out);
+    return;
+  }
+  // Incomplete theta state: recompute the probe's matches from the
+  // children. All-pairs predicates decompose across parts, so
+  //   matches(X, t) = { l (x) r : l in matches(left, t),
+  //                     r in matches(right, t), theta_X(l, r) }.
+  auto* nlj = static_cast<NestedLoopsJoin*>(opposite);
+  std::vector<Tuple> ls;
+  std::vector<Tuple> rs;
+  CollectThetaMatches(probe, opposite->left(), ctx, &ls);
+  CollectThetaMatches(probe, opposite->right(), ctx, &rs);
+  for (const Tuple& l : ls) {
+    for (const Tuple& r : rs) {
+      if (ctx->metrics != nullptr) ++ctx->metrics->probe_entries;
+      if (nlj->theta().Matches(l, r)) {
+        out->push_back(Tuple::Concat(l, r, ctx->stamp, false));
+      }
+    }
+  }
+}
+
+void JiscRuntime::CompleteForKey(Operator* op, JoinKey v, Stamp p,
+                                 Metrics* metrics) {
+  if (op->kind() == OpKind::kScan) return;  // leaf states are complete
+  OperatorState& st = op->state();
+  if (st.complete() || st.IsKeyCompleted(v)) return;
+  if (st.index() == StateIndex::kList) {
+    CompleteFull(op, p, metrics);
+    return;
+  }
+  // Procedure 2: recursively complete the children for v first, then
+  // materialize at this node.
+  CompleteForKey(op->left(), v, p, metrics);
+  CompleteForKey(op->right(), v, p, metrics);
+  MaterializeKey(op, v, p, metrics);
+}
+
+void JiscRuntime::CompleteForKeyLeftDeep(Operator* op, JoinKey v, Stamp p,
+                                         Metrics* metrics) {
+  // Procedure 3: in a left-deep plan only left-spine states can be
+  // incomplete, so walk down the spine to the highest node whose left child
+  // is usable, then materialize upward without recursion.
+  std::vector<Operator*> chain;
+  Operator* cur = op;
+  while (cur->kind() != OpKind::kScan && !cur->state().complete() &&
+         !cur->state().IsKeyCompleted(v)) {
+    if (cur->state().index() == StateIndex::kList) {
+      // Mixed plan: a theta state on the spine is completed in full.
+      CompleteFull(cur, p, metrics);
+      break;
+    }
+    chain.push_back(cur);
+    cur = cur->left();
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    MaterializeKey(*it, v, p, metrics);
+  }
+}
+
+void JiscRuntime::MaterializeKey(Operator* op, JoinKey v, Stamp p,
+                                 Metrics* metrics) {
+  OperatorState& st = op->state();
+  JISC_DCHECK(!st.complete() && !st.IsKeyCompleted(v));
+  Stamp since = SinceStampFor(op);
+  if (op->kind() == OpKind::kSetDifference || op->kind() == OpKind::kSemiJoin) {
+    // Set difference: entries for v are the outer tuples with v and no live
+    // inner match. Semi join: the same outer tuples when a live inner match
+    // DOES exist.
+    bool witness = op->right()->state().ContainsKeyLive(v);
+    bool keep = op->kind() == OpKind::kSemiJoin ? witness : !witness;
+    if (keep) {
+      std::vector<Tuple> outers;
+      op->left()->state().CollectMatches(v, p, &outers);
+      for (const Tuple& l : outers) {
+        Tuple entry = l;
+        entry.set_birth(since);
+        if (st.Insert(entry, since, /*dedup=*/true)) {
+          if (metrics != nullptr) ++metrics->completion_inserts;
+        } else if (metrics != nullptr) {
+          ++metrics->completion_dedup_hits;
+        }
+      }
+    }
+  } else {
+    std::vector<Tuple> ls;
+    std::vector<Tuple> rs;
+    op->left()->state().CollectMatches(v, p, &ls);
+    op->right()->state().CollectMatches(v, p, &rs);
+    if (metrics != nullptr) metrics->probe_entries += ls.size() + rs.size();
+    for (const Tuple& l : ls) {
+      for (const Tuple& r : rs) {
+        Tuple combo = Tuple::Concat(l, r, since, /*fresh=*/false);
+        if (st.Insert(combo, since, /*dedup=*/true)) {
+          if (metrics != nullptr) ++metrics->completion_inserts;
+        } else if (metrics != nullptr) {
+          ++metrics->completion_dedup_hits;
+        }
+      }
+    }
+  }
+  st.MarkKeyCompleted(v);
+  if (metrics != nullptr) ++metrics->completions;
+  auto it = trackers_.find(op->node_id());
+  if (it != trackers_.end()) it->second->OnKeyCompleted(v);
+}
+
+void JiscRuntime::CompleteFull(Operator* op, Stamp p, Metrics* metrics) {
+  if (op->kind() == OpKind::kScan) return;
+  OperatorState& st = op->state();
+  if (st.complete()) return;
+  CompleteFull(op->left(), p, metrics);
+  CompleteFull(op->right(), p, metrics);
+  if (st.index() == StateIndex::kList) {
+    // Theta join: all-pairs cross product of the children's visible entries.
+    auto* nlj = static_cast<NestedLoopsJoin*>(op);
+    Stamp since = SinceStampFor(op);
+    std::vector<Tuple> ls;
+    op->left()->state().ForEachVisible(p,
+                                       [&](const Tuple& t) { ls.push_back(t); });
+    op->right()->state().ForEachVisible(p, [&](const Tuple& r) {
+      for (const Tuple& l : ls) {
+        if (metrics != nullptr) ++metrics->probe_entries;
+        if (!nlj->theta().Matches(l, r)) continue;
+        Tuple combo = Tuple::Concat(l, r, since, /*fresh=*/false);
+        if (st.Insert(combo, since, /*dedup=*/true)) {
+          if (metrics != nullptr) ++metrics->completion_inserts;
+        } else if (metrics != nullptr) {
+          ++metrics->completion_dedup_hits;
+        }
+      }
+    });
+    if (metrics != nullptr) ++metrics->completions;
+  } else {
+    // Hash or set-difference state: complete every potentially-missing
+    // value. (Missing combinations need the value live on both sides, so
+    // the smaller child's key set suffices; set-difference entries come
+    // from the left child.)
+    const Operator* ref;
+    if (op->kind() == OpKind::kSetDifference ||
+        op->kind() == OpKind::kSemiJoin) {
+      ref = op->left();
+    } else {
+      ref = op->left()->state().DistinctLiveKeys() <=
+                    op->right()->state().DistinctLiveKeys()
+                ? op->left()
+                : op->right();
+    }
+    for (JoinKey v : ref->state().LiveKeys()) {
+      if (!st.IsKeyCompleted(v)) MaterializeKey(op, v, p, metrics);
+    }
+  }
+  MarkStateComplete(op);
+}
+
+std::unique_ptr<MigrationStrategy> MakeJiscStrategy(JiscOptions options) {
+  return std::make_unique<JiscRuntime>(options);
+}
+
+}  // namespace jisc

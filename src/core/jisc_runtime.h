@@ -1,0 +1,107 @@
+#ifndef JISC_CORE_JISC_RUNTIME_H_
+#define JISC_CORE_JISC_RUNTIME_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/completion_tracker.h"
+#include "core/engine.h"
+#include "core/migration_strategy.h"
+
+namespace jisc {
+
+// Configuration of the JISC strategy.
+struct JiscOptions {
+  // When are missing entries computed?
+  enum class CompletionMode {
+    // Exactly when an incomplete state is probed for a value that has not
+    // been completed there (sound refinement of Procedure 1; default).
+    kOnProbe,
+    // On the first post-transition receipt of each value, every incomplete
+    // state is completed for it (the reading of Section 4.4 under which
+    // "attempted => complete at all operators" holds).
+    kOnFirstReceipt,
+  };
+  CompletionMode completion_mode = CompletionMode::kOnProbe;
+
+  // How is full state completion detected?
+  enum class DetectionMode {
+    kCounter,             // Section 4.3 counters (plus window-turnover fallback)
+    kWindowTurnoverOnly,  // only the Parallel-Track-style fallback (ablation)
+  };
+  DetectionMode detection = DetectionMode::kCounter;
+
+  // Use the paper's literal Case 3 rule (complete when both children get
+  // completed) instead of the deferred pending-set initialization.
+  bool paper_case3 = false;
+
+  // Use the paper's Procedure 3 (iterative spine walk) for left-deep plans
+  // instead of the general recursive Procedure 2. Identical semantics.
+  bool use_left_deep_procedure = true;
+};
+
+// Just-In-Time State Completion (Section 4): the paper's contribution.
+//
+// As a MigrationStrategy it performs the lazy migration of Section 4.1:
+// states of the new plan that exist (and are complete, Section 4.5) in the
+// old plan are carried over; the rest start empty and are completed on
+// demand. As a CompletionHandler it implements Procedures 1-3: a probe into
+// an incomplete state first materializes the probe value's entries,
+// recursively, starting from the highest complete states below.
+class JiscRuntime : public MigrationStrategy, public CompletionHandler {
+ public:
+  explicit JiscRuntime(JiscOptions options = JiscOptions());
+  ~JiscRuntime() override;
+
+  // --- MigrationStrategy ---
+  std::string name() const override { return "jisc"; }
+  Status Migrate(Engine* engine, const LogicalPlan& new_plan) override;
+  CompletionHandler* handler() override { return this; }
+  void Maintain(Engine* engine) override;
+  void OnArrival(Engine* engine, const BaseTuple& base, Stamp stamp) override;
+
+  // --- CompletionHandler ---
+  void EnsureCompleted(const Tuple& probe, Operator* opposite,
+                       ExecContext* ctx) override;
+  bool RemovalMayStopAtIncomplete(const BaseTuple& base, const Operator* at,
+                                  ExecContext* ctx) override;
+  void CollectThetaMatches(const Tuple& probe, Operator* opposite,
+                           ExecContext* ctx,
+                           std::vector<Tuple>* out) override;
+
+  // --- introspection (tests, benches) ---
+  int num_incomplete() const { return static_cast<int>(trackers_.size()); }
+  const CompletionTracker* tracker(int node_id) const;
+  const JiscOptions& options() const { return options_; }
+
+ private:
+  // Procedure 2: recursive completion of `op`'s state for value v. `p` is
+  // the probing stamp (entries are materialized as of strictly-before-p).
+  void CompleteForKey(Operator* op, JoinKey v, Stamp p, Metrics* metrics);
+  // Procedure 3: the left-deep specialization (iterative walk up the spine
+  // from the highest complete state).
+  void CompleteForKeyLeftDeep(Operator* op, JoinKey v, Stamp p,
+                              Metrics* metrics);
+  // Materializes v's entries at `op` from its (already completed) children.
+  void MaterializeKey(Operator* op, JoinKey v, Stamp p, Metrics* metrics);
+  // Theta states have no per-value buckets: complete them in full.
+  void CompleteFull(Operator* op, Stamp p, Metrics* metrics);
+  void MarkStateComplete(Operator* op);
+  Stamp SinceStampFor(const Operator* op) const;
+  // Window-turnover fallback: true when every pre-transition tuple below
+  // `op` has expired.
+  bool SubtreeTurnedOver(const Operator* op) const;
+
+  JiscOptions options_;
+  Engine* engine_ = nullptr;
+  bool current_plan_left_deep_ = false;
+  std::unordered_map<int, std::unique_ptr<CompletionTracker>> trackers_;
+};
+
+// Convenience factory for Engine construction.
+std::unique_ptr<MigrationStrategy> MakeJiscStrategy(
+    JiscOptions options = JiscOptions());
+
+}  // namespace jisc
+
+#endif  // JISC_CORE_JISC_RUNTIME_H_

@@ -1,0 +1,47 @@
+#ifndef JISC_CORE_MIGRATION_STRATEGY_H_
+#define JISC_CORE_MIGRATION_STRATEGY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+class Engine;
+
+// Plan-migration policy plugged into the Engine. Invoked after the engine
+// has drained all operator queues through the old plan (the buffer-clearing
+// phase of Section 4.1, shared by JISC and Moving State).
+class MigrationStrategy {
+ public:
+  virtual ~MigrationStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Rebuilds the engine's executor for `new_plan`, carrying over / computing
+  // states per the strategy's policy. The engine rewires sink, metrics and
+  // handlers on the executor the strategy installs.
+  virtual Status Migrate(Engine* engine, const LogicalPlan& new_plan) = 0;
+
+  // The completion handler operators consult when probing incomplete states
+  // (JISC only; others never run with incomplete states).
+  virtual CompletionHandler* handler() { return nullptr; }
+
+  // Periodic housekeeping (completion detection sweeps). Called by the
+  // engine every `maintain_period` events.
+  virtual void Maintain(Engine* engine) { (void)engine; }
+
+  // Pre-admission hook, called before each arrival is processed.
+  virtual void OnArrival(Engine* engine, const BaseTuple& base, Stamp stamp) {
+    (void)engine;
+    (void)base;
+    (void)stamp;
+  }
+};
+
+}  // namespace jisc
+
+#endif  // JISC_CORE_MIGRATION_STRATEGY_H_

@@ -1,0 +1,51 @@
+#include "eddy/stem.h"
+
+#include "common/logging.h"
+
+namespace jisc {
+
+SteM::SteM(StreamId stream, uint64_t window_size, WindowSpec::Mode mode)
+    : stream_(stream),
+      window_size_(window_size),
+      mode_(mode),
+      state_(StreamSet::Single(stream), StateIndex::kHash) {
+  JISC_CHECK(window_size_ >= 1);
+}
+
+Seq SteM::OldestLiveSeq() const {
+  if (window_.empty()) return kStampInfinity;
+  return window_.front().seq;
+}
+
+std::vector<BaseTuple> SteM::Insert(const BaseTuple& base, Stamp stamp) {
+  JISC_DCHECK(base.stream == stream_);
+  std::vector<BaseTuple> expired;
+  auto expire_front = [&]() {
+    BaseTuple oldest = window_.front();
+    window_.pop_front();
+    state_.RemoveContaining(oldest.seq, oldest.key, stamp, nullptr);
+    expired.push_back(oldest);
+  };
+  if (mode_ == WindowSpec::Mode::kCount) {
+    if (window_.size() >= window_size_) expire_front();
+  } else {
+    while (!window_.empty() &&
+           window_.front().ts + window_size_ <= base.ts) {
+      expire_front();
+    }
+  }
+  window_.push_back(base);
+  state_.Insert(Tuple::FromBase(base, stamp, true), stamp);
+  return expired;
+}
+
+void SteM::Probe(JoinKey key, Stamp p, std::vector<Tuple>* out) const {
+  state_.CollectMatches(key, p, out);
+}
+
+void SteM::ProbePtrs(JoinKey key, Stamp p,
+                     std::vector<const Tuple*>* out) const {
+  state_.CollectMatchPtrs(key, p, out);
+}
+
+}  // namespace jisc

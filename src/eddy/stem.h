@@ -1,0 +1,52 @@
+#ifndef JISC_EDDY_STEM_H_
+#define JISC_EDDY_STEM_H_
+
+#include <deque>
+#include <vector>
+
+#include "state/operator_state.h"
+#include "stream/window.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// A State Module [Raman et al.]: the per-stream hash state used by the
+// eddy-based executors (Section 3.1). Holds the stream's live window
+// tuples; probes are by join-attribute value with the engine's stamp
+// visibility rule.
+class SteM {
+ public:
+  SteM(StreamId stream, uint64_t window_size,
+       WindowSpec::Mode mode = WindowSpec::Mode::kCount);
+
+  SteM(const SteM&) = delete;
+  SteM& operator=(const SteM&) = delete;
+
+  StreamId stream() const { return stream_; }
+  uint64_t window_size() const { return window_size_; }
+  size_t fill() const { return window_.size(); }
+  Seq OldestLiveSeq() const;
+
+  // Inserts an arrival; returns the displaced (expired) tuples when the
+  // window slides (count mode: at most one; time mode: possibly several).
+  std::vector<BaseTuple> Insert(const BaseTuple& base, Stamp stamp);
+
+  // Entries with `key` visible to a probe at stamp p.
+  void Probe(JoinKey key, Stamp p, std::vector<Tuple>* out) const;
+  // Pointer flavor (no copies); valid until the next mutation.
+  void ProbePtrs(JoinKey key, Stamp p, std::vector<const Tuple*>* out) const;
+
+  const OperatorState& state() const { return state_; }
+  OperatorState& state() { return state_; }
+
+ private:
+  StreamId stream_;
+  uint64_t window_size_;
+  WindowSpec::Mode mode_;
+  OperatorState state_;
+  std::deque<BaseTuple> window_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EDDY_STEM_H_

@@ -1,0 +1,67 @@
+#include "exec/explain.h"
+
+#include <sstream>
+
+namespace jisc {
+
+namespace {
+
+void ExplainNode(const PipelineExecutor& exec, int id, int depth,
+                 std::ostringstream* os) {
+  const Operator* op = exec.op(id);
+  for (int i = 0; i < depth; ++i) *os << (i + 1 == depth ? "+- " : "|  ");
+  const OperatorState& st = op->state();
+  *os << OpKindName(op->kind()) << "#" << id << " "
+      << op->streams().ToString();
+  if (op->kind() == OpKind::kScan) {
+    const auto* scan = static_cast<const StreamScan*>(op);
+    *os << " window=" << scan->window_fill() << "/" << scan->window_size();
+  }
+  *os << " live=" << st.live_size() << " keys=" << st.DistinctLiveKeys();
+  if (st.complete()) {
+    *os << " [complete]";
+  } else {
+    *os << " [INCOMPLETE, " << st.NumCompletedKeys() << " values completed]";
+  }
+  *os << "\n";
+  const PlanNode& n = exec.plan().node(id);
+  if (n.kind != OpKind::kScan) {
+    ExplainNode(exec, n.left, depth + 1, os);
+    ExplainNode(exec, n.right, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string ExplainExecutor(const PipelineExecutor& exec) {
+  std::ostringstream os;
+  os << "plan: " << exec.plan().ToString() << "\n";
+  ExplainNode(exec, exec.plan().root(), 0, &os);
+  return os.str();
+}
+
+std::string ExecutorToDot(const PipelineExecutor& exec) {
+  std::ostringstream os;
+  os << "digraph plan {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (int id = 0; id < exec.num_ops(); ++id) {
+    const Operator* op = exec.op(id);
+    const OperatorState& st = op->state();
+    os << "  n" << id << " [label=\"" << OpKindName(op->kind()) << " "
+       << op->streams().ToString() << "\\nlive=" << st.live_size();
+    if (!st.complete()) {
+      os << "\\nINCOMPLETE\" style=filled fillcolor=lightsalmon];\n";
+    } else {
+      os << "\"];\n";
+    }
+  }
+  for (int id = 0; id < exec.num_ops(); ++id) {
+    const PlanNode& n = exec.plan().node(id);
+    if (n.kind == OpKind::kScan) continue;
+    os << "  n" << n.left << " -> n" << id << ";\n";
+    os << "  n" << n.right << " -> n" << id << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace jisc

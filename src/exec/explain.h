@@ -1,0 +1,25 @@
+#ifndef JISC_EXEC_EXPLAIN_H_
+#define JISC_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "exec/pipeline_executor.h"
+
+namespace jisc {
+
+// Human-readable snapshot of a running plan: operator tree with per-state
+// live sizes, distinct-value counts, completeness flags (incl. how many
+// values have been completed on demand so far), and scan window fills.
+//
+//   HJ#6 {S0,S1,S2,S3} live=812 keys=200 [INCOMPLETE, 57 values completed]
+//   +- HJ#4 {S0,S1,S2} live=600 keys=200 [complete]
+//   ...
+std::string ExplainExecutor(const PipelineExecutor& exec);
+
+// Graphviz dot rendering of the same snapshot (one node per operator,
+// incomplete states highlighted). Paste into `dot -Tsvg`.
+std::string ExecutorToDot(const PipelineExecutor& exec);
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_EXPLAIN_H_

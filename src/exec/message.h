@@ -1,0 +1,35 @@
+#ifndef JISC_EXEC_MESSAGE_H_
+#define JISC_EXEC_MESSAGE_H_
+
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Which input of a binary operator a message came from.
+enum class Side { kLeft, kRight };
+
+inline Side Opposite(Side s) {
+  return s == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+// One item in an operator's input queue. All messages of one external
+// event's cascade carry that event's stamp.
+struct Message {
+  enum class Kind {
+    kArrival,     // base tuple entering a stream-scan
+    kData,        // (composite) tuple flowing up the pipeline
+    kRemoval,     // expiry of base tuple `base`, propagating up
+    kInnerClear,  // set-difference: inner tuple forwarded up past an
+                  // incomplete state (Section 4.7)
+  };
+
+  Kind kind = Kind::kData;
+  Side from = Side::kLeft;
+  Stamp stamp = 0;
+  Tuple tuple;     // kData, kInnerClear
+  BaseTuple base;  // kArrival, kRemoval
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_MESSAGE_H_

@@ -1,0 +1,38 @@
+#include "exec/metrics.h"
+
+#include <sstream>
+
+namespace jisc {
+
+Metrics& Metrics::operator+=(const Metrics& o) {
+  arrivals += o.arrivals;
+  messages += o.messages;
+  probes += o.probes;
+  probe_entries += o.probe_entries;
+  matches += o.matches;
+  inserts += o.inserts;
+  removals += o.removals;
+  outputs += o.outputs;
+  retractions += o.retractions;
+  completions += o.completions;
+  completion_inserts += o.completion_inserts;
+  completion_dedup_hits += o.completion_dedup_hits;
+  eddy_visits += o.eddy_visits;
+  dedup_checks += o.dedup_checks;
+  purge_scan_entries += o.purge_scan_entries;
+  return *this;
+}
+
+std::string Metrics::ToString() const {
+  std::ostringstream os;
+  os << "arrivals=" << arrivals << " messages=" << messages
+     << " probes=" << probes << " probe_entries=" << probe_entries
+     << " matches=" << matches << " inserts=" << inserts
+     << " removals=" << removals << " outputs=" << outputs
+     << " retractions=" << retractions << " completions=" << completions
+     << " completion_inserts=" << completion_inserts
+     << " eddy_visits=" << eddy_visits << " work=" << WorkUnits();
+  return os.str();
+}
+
+}  // namespace jisc

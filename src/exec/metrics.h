@@ -1,0 +1,45 @@
+#ifndef JISC_EXEC_METRICS_H_
+#define JISC_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jisc {
+
+// Deterministic work counters maintained by the executor. Benchmarks report
+// both wall time and these counters; the counters make the figures'
+// *shapes* reproducible independently of machine noise.
+struct Metrics {
+  uint64_t arrivals = 0;          // base tuples admitted
+  uint64_t messages = 0;          // operator queue messages processed
+  uint64_t probes = 0;            // state probes issued by operators
+  uint64_t probe_entries = 0;     // entries examined during probes
+  uint64_t matches = 0;           // successful matches
+  uint64_t inserts = 0;           // state insertions
+  uint64_t removals = 0;          // state entry removals (expiry/suppression)
+  uint64_t outputs = 0;           // tuples delivered to the sink
+  uint64_t retractions = 0;       // retractions delivered to the sink
+  uint64_t completions = 0;       // JISC per-key state completions performed
+  uint64_t completion_inserts = 0;  // entries materialized by completion
+  uint64_t completion_dedup_hits = 0;
+  uint64_t eddy_visits = 0;       // eddy routing hops (CACQ/STAIRs)
+  uint64_t dedup_checks = 0;      // Parallel Track sink dedup lookups
+  uint64_t purge_scan_entries = 0;  // entries scanned by purge detection
+
+  // Scalar proxy for total work, used as the "running time" shape metric.
+  uint64_t WorkUnits() const {
+    return messages + probes + probe_entries + inserts + removals +
+           completion_inserts + eddy_visits + dedup_checks +
+           purge_scan_entries;
+  }
+
+  void Reset() { *this = Metrics{}; }
+
+  Metrics& operator+=(const Metrics& o);
+
+  std::string ToString() const;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_METRICS_H_

@@ -1,0 +1,36 @@
+#ifndef JISC_EXEC_NESTED_LOOPS_JOIN_H_
+#define JISC_EXEC_NESTED_LOOPS_JOIN_H_
+
+#include "exec/operator.h"
+#include "exec/theta.h"
+
+namespace jisc {
+
+// Symmetric nested-loops join for general theta predicates (Section 2.1:
+// "we use a nested-loops join for general theta joins"). Identical dataflow
+// to SymmetricHashJoin, but probes scan the entire opposite state and
+// evaluate the ThetaSpec predicate, and the operator's own state is
+// unindexed (StateIndex::kList).
+//
+// Under JISC, an incomplete nested-loops state is completed in full on its
+// first probe (per-value completion has no meaning for theta predicates);
+// the Moving State baseline instead recomputes all such states eagerly at
+// transition time, which is what produces the dramatic latency gap of
+// Fig. 10b.
+class NestedLoopsJoin : public Operator {
+ public:
+  NestedLoopsJoin(int node_id, StreamSet streams, ThetaSpec theta);
+
+  const ThetaSpec& theta() const { return theta_; }
+
+ protected:
+  void OnData(const Tuple& tuple, Side from, ExecContext* ctx) override;
+  void OnRemoval(const BaseTuple& base, Side from, ExecContext* ctx) override;
+
+ private:
+  ThetaSpec theta_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_NESTED_LOOPS_JOIN_H_

@@ -1,0 +1,43 @@
+#ifndef JISC_EXEC_SEMI_JOIN_H_
+#define JISC_EXEC_SEMI_JOIN_H_
+
+#include "exec/operator.h"
+
+namespace jisc {
+
+// Windowed semi join (Section 4.7 carried one operator further): the
+// mirror image of SetDifference. The operator's state is the set of live
+// outer tuples that DO have a live key match in the inner stream's window.
+//
+// Behaviour:
+//  * outer arrival: admitted (inserted + emitted) iff a live inner match
+//    exists;
+//  * inner arrival: outer tuples whose first live witness just appeared
+//    qualify and are (re-)emitted;
+//  * inner expiry: if it was the value's last live witness, matching
+//    entries are removed from the state; with an incomplete state the
+//    clearing is forwarded up the pipeline until the first complete state
+//    (same rule as set difference -- the entries may only exist,
+//    materialized, in a complete ancestor);
+//  * outer-side removals behave as in joins (Section 4.2 incomplete-state
+//    propagation included).
+class SemiJoin : public Operator {
+ public:
+  SemiJoin(int node_id, StreamSet streams);
+
+ protected:
+  void OnData(const Tuple& tuple, Side from, ExecContext* ctx) override;
+  void OnRemoval(const BaseTuple& base, Side from, ExecContext* ctx) override;
+  void OnInnerClear(const Tuple& tuple, ExecContext* ctx) override;
+
+ private:
+  // Removes live entries matching `key` (their witness disappeared);
+  // removals propagate upward / retract at the root.
+  void SuppressKey(JoinKey key, ExecContext* ctx);
+  // Qualifies left-child tuples with `key` into the state and emits them.
+  void QualifyKey(JoinKey key, ExecContext* ctx);
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_SEMI_JOIN_H_

@@ -1,0 +1,40 @@
+#ifndef JISC_EXEC_SET_DIFFERENCE_H_
+#define JISC_EXEC_SET_DIFFERENCE_H_
+
+#include "exec/operator.h"
+
+namespace jisc {
+
+// Windowed set difference (Section 4.7): the left (outer) input flows
+// through; the right (inner) input suppresses. The operator's state is the
+// set of live outer tuples with no live key match in the inner stream's
+// window.
+//
+// Behaviour:
+//  * outer arrival: admitted (inserted + emitted) iff no live inner match;
+//  * inner arrival: removes matching outer entries from the state (their
+//    removal propagates up); if this state is incomplete, the inner tuple
+//    is additionally forwarded up the pipeline until the first complete
+//    state (the paper's Section 4.7 rule);
+//  * inner expiry: outer tuples whose last suppressor expired re-qualify
+//    and are (re-)emitted -- the "possibly adding" case of Section 2.1;
+//  * outer-side expiry/suppression removals behave as in joins, including
+//    the Section 4.2 incomplete-state propagation rule.
+class SetDifference : public Operator {
+ public:
+  SetDifference(int node_id, StreamSet streams);
+
+ protected:
+  void OnData(const Tuple& tuple, Side from, ExecContext* ctx) override;
+  void OnRemoval(const BaseTuple& base, Side from, ExecContext* ctx) override;
+  void OnInnerClear(const Tuple& tuple, ExecContext* ctx) override;
+
+ private:
+  // Removes live entries matching `key` from this state; removals of the
+  // suppressed outer tuples propagate upward (or retract at the root).
+  void SuppressKey(JoinKey key, ExecContext* ctx);
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_SET_DIFFERENCE_H_

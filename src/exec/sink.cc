@@ -1,0 +1,35 @@
+#include "exec/sink.h"
+
+#include "common/logging.h"
+
+namespace jisc {
+
+void DedupSink::OnOutput(const Tuple& tuple, Stamp stamp) {
+  if (metrics_ != nullptr) ++metrics_->dedup_checks;
+  int& count = counts_[tuple.IdentityHash()];
+  if (++count == 1) downstream_->OnOutput(tuple, stamp);
+}
+
+void DedupSink::OnRetract(const Tuple& tuple, Stamp stamp) {
+  if (metrics_ != nullptr) ++metrics_->dedup_checks;
+  auto it = counts_.find(tuple.IdentityHash());
+  JISC_DCHECK(it != counts_.end());
+  if (it == counts_.end()) return;
+  if (--it->second == 0) {
+    counts_.erase(it);
+    downstream_->OnRetract(tuple, stamp);
+  }
+}
+
+void DedupSink::NoteAdoption(const Tuple& tuple) {
+  ++counts_[tuple.IdentityHash()];
+}
+
+void DedupSink::NoteDiscard(const Tuple& tuple) {
+  auto it = counts_.find(tuple.IdentityHash());
+  JISC_DCHECK(it != counts_.end());
+  if (it == counts_.end()) return;
+  if (--it->second == 0) counts_.erase(it);
+}
+
+}  // namespace jisc

@@ -1,0 +1,69 @@
+#ifndef JISC_EXEC_STATE_POOL_H_
+#define JISC_EXEC_STATE_POOL_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "state/operator_state.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// States harvested from a dismantled executor, keyed by identity
+// (StreamSet). The new executor adopts matching states ("a state in the old
+// plan that also exists in the new plan is copied to the new plan",
+// Section 4.1); leftovers are the discarded states.
+class StatePool {
+ public:
+  StatePool() = default;
+  StatePool(StatePool&&) = default;
+  StatePool& operator=(StatePool&&) = default;
+
+  void Put(std::unique_ptr<OperatorState> state) {
+    uint64_t key = state->id().bits();
+    states_[key] = std::move(state);
+  }
+
+  // Removes and returns the state with this identity, or nullptr.
+  std::unique_ptr<OperatorState> Take(StreamSet id) {
+    auto it = states_.find(id.bits());
+    if (it == states_.end()) return nullptr;
+    std::unique_ptr<OperatorState> s = std::move(it->second);
+    states_.erase(it);
+    return s;
+  }
+
+  bool Contains(StreamSet id) const {
+    return states_.find(id.bits()) != states_.end();
+  }
+
+  size_t size() const { return states_.size(); }
+
+  // Scan window deques travel with the states so the successor executor
+  // adopts them in O(1) instead of rebuilding (and re-sorting) them from
+  // the state contents.
+  void PutWindow(StreamId stream, std::deque<BaseTuple> window) {
+    windows_[stream] = std::move(window);
+  }
+
+  std::optional<std::deque<BaseTuple>> TakeWindow(StreamId stream) {
+    auto it = windows_.find(stream);
+    if (it == windows_.end()) return std::nullopt;
+    std::deque<BaseTuple> w = std::move(it->second);
+    windows_.erase(it);
+    return w;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::unique_ptr<OperatorState>, U64Hash>
+      states_;
+  std::unordered_map<StreamId, std::deque<BaseTuple>> windows_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_STATE_POOL_H_

@@ -1,0 +1,41 @@
+#ifndef JISC_EXEC_STREAM_PROCESSOR_H_
+#define JISC_EXEC_STREAM_PROCESSOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/metrics.h"
+#include "plan/logical_plan.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Uniform facade over the query processors compared in the paper: the
+// pipelined engine under each migration strategy (Moving State, Parallel
+// Track, JISC) and the eddy-based executors (CACQ, STAIRs). The benchmark
+// harness drives all of them through this interface.
+class StreamProcessor {
+ public:
+  virtual ~StreamProcessor() = default;
+
+  virtual std::string name() const = 0;
+
+  // Admits one base tuple and processes it to completion.
+  virtual void Push(const BaseTuple& tuple) = 0;
+
+  // Switches execution to an equivalent plan (its join order is what
+  // matters). For eddy-based processors this re-routes; for pipelined ones
+  // it migrates per the strategy.
+  virtual Status RequestTransition(const LogicalPlan& new_plan) = 0;
+
+  virtual const Metrics& metrics() const = 0;
+
+  // Approximate bytes of materialized operator state currently held
+  // (Section 5 compares strategies' memory footprints; Parallel Track's
+  // doubles while plans overlap).
+  virtual uint64_t StateMemory() const { return 0; }
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_STREAM_PROCESSOR_H_

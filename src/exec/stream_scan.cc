@@ -1,0 +1,84 @@
+#include "exec/stream_scan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/freshness_tracker.h"
+
+namespace jisc {
+
+StreamScan::StreamScan(int node_id, StreamId stream, uint64_t window_size,
+                       WindowSpec::Mode mode)
+    : Operator(node_id, OpKind::kScan, StreamSet::Single(stream),
+               StateIndex::kHash),
+      stream_(stream),
+      window_size_(window_size),
+      mode_(mode) {
+  JISC_CHECK(window_size_ >= 1);
+}
+
+Seq StreamScan::OldestLiveSeq() const {
+  if (window_.empty()) return kStampInfinity;
+  return window_.front().seq;
+}
+
+void StreamScan::RebuildWindowFromState() {
+  window_.clear();
+  state_->ForEachLive([this](const Tuple& t) {
+    JISC_DCHECK(t.parts().size() == 1);
+    window_.push_back(t.parts().front());
+  });
+  std::sort(window_.begin(), window_.end(),
+            [](const BaseTuple& a, const BaseTuple& b) {
+              return a.seq < b.seq;
+            });
+}
+
+void StreamScan::OnArrival(const BaseTuple& base, ExecContext* ctx) {
+  JISC_DCHECK(base.stream == stream_);
+  // Window bookkeeping (and the purge/turnover detectors) rely on per-
+  // stream arrival order matching sequence order.
+  JISC_CHECK(window_.empty() || window_.back().seq < base.seq)
+      << "stream " << stream_ << " arrivals must have increasing seq";
+  // Window slide: displaced tuples expire, and their expiry must be applied
+  // (and propagated) before the new tuple is processed so that the new
+  // tuple does not join with them. Count mode displaces at most one tuple;
+  // time mode may expire several (everything with ts <= now - duration).
+  auto expire_front = [&]() {
+    BaseTuple oldest = window_.front();
+    window_.pop_front();
+    int n = state_->RemoveContaining(oldest.seq, oldest.key, ctx->stamp,
+                                     nullptr);
+    JISC_DCHECK(n == 1);
+    (void)n;
+    if (ctx->metrics != nullptr) ++ctx->metrics->removals;
+    EmitRemoval(oldest, ctx);
+  };
+  if (mode_ == WindowSpec::Mode::kCount) {
+    if (window_.size() >= window_size_) expire_front();
+  } else {
+    while (!window_.empty() &&
+           window_.front().ts + window_size_ <= base.ts) {
+      expire_front();
+    }
+  }
+  window_.push_back(base);
+  bool fresh = true;
+  if (ctx->freshness != nullptr) {
+    fresh = ctx->freshness->ClassifyAndMark(stream_, base.key);
+  }
+  Tuple t = Tuple::FromBase(base, ctx->stamp, fresh);
+  state_->Insert(t, ctx->stamp);
+  if (ctx->metrics != nullptr) ++ctx->metrics->inserts;
+  EmitData(std::move(t), ctx);
+}
+
+void StreamScan::OnData(const Tuple&, Side, ExecContext*) {
+  JISC_CHECK(false) << "scan received a data message";
+}
+
+void StreamScan::OnRemoval(const BaseTuple&, Side, ExecContext*) {
+  JISC_CHECK(false) << "scan received a removal message";
+}
+
+}  // namespace jisc

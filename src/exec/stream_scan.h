@@ -1,0 +1,51 @@
+#ifndef JISC_EXEC_STREAM_SCAN_H_
+#define JISC_EXEC_STREAM_SCAN_H_
+
+#include <deque>
+
+#include "exec/operator.h"
+#include "stream/window.h"
+
+namespace jisc {
+
+// Leaf operator: admits base tuples of one stream, maintains the stream's
+// count-based sliding window, and emits arrivals/expirations upward. Its
+// state (the live window) is by definition always complete.
+class StreamScan : public Operator {
+ public:
+  StreamScan(int node_id, StreamId stream, uint64_t window_size,
+             WindowSpec::Mode mode = WindowSpec::Mode::kCount);
+
+  StreamId stream() const { return stream_; }
+  uint64_t window_size() const { return window_size_; }
+  size_t window_fill() const { return window_.size(); }
+
+  // Oldest live sequence number, or kStampInfinity when empty. Used by the
+  // purge detection of Parallel Track and the JISC completion fallback.
+  Seq OldestLiveSeq() const;
+
+  // Rebuilds the window deque from an adopted state (fallback when the
+  // deque itself was not handed over).
+  void RebuildWindowFromState();
+
+  // O(1) window hand-off across plan migrations.
+  std::deque<BaseTuple> TakeWindow() { return std::move(window_); }
+  void AdoptWindow(std::deque<BaseTuple> window) {
+    window_ = std::move(window);
+  }
+
+ protected:
+  void OnArrival(const BaseTuple& base, ExecContext* ctx) override;
+  void OnData(const Tuple& tuple, Side from, ExecContext* ctx) override;
+  void OnRemoval(const BaseTuple& base, Side from, ExecContext* ctx) override;
+
+ private:
+  StreamId stream_;
+  uint64_t window_size_;  // count, or duration in time mode
+  WindowSpec::Mode mode_;
+  std::deque<BaseTuple> window_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_STREAM_SCAN_H_

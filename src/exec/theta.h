@@ -1,0 +1,42 @@
+#ifndef JISC_EXEC_THETA_H_
+#define JISC_EXEC_THETA_H_
+
+#include <cstdlib>
+
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Predicate evaluated by nested-loops (general theta) joins. The predicate
+// is defined pairwise on the join attribute and applied between every pair
+// of base parts across the two sides, which makes the output of a subtree a
+// function of its stream set alone — the property plan migration relies on
+// (states are identified by stream sets).
+//
+// band == 0 is plain key equality (the hash-join predicate, evaluated the
+// expensive way); band > 0 is a band join |k_a - k_b| <= band.
+struct ThetaSpec {
+  int64_t band = 0;
+
+  bool PairMatches(JoinKey a, JoinKey b) const {
+    return std::llabs(a - b) <= band;
+  }
+
+  // All-pairs test across the two combinations' parts.
+  bool Matches(const Tuple& a, const Tuple& b) const {
+    if (band == 0) {
+      // Equi case: every part of a combination shares one key.
+      return a.key() == b.key();
+    }
+    for (const BaseTuple& pa : a.parts()) {
+      for (const BaseTuple& pb : b.parts()) {
+        if (!PairMatches(pa.key, pb.key)) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_THETA_H_

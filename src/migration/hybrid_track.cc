@@ -1,0 +1,133 @@
+#include "migration/hybrid_track.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/validate.h"
+#include "plan/plan_diff.h"
+
+namespace jisc {
+
+HybridTrackProcessor::HybridTrackProcessor(const LogicalPlan& plan,
+                                           const WindowSpec& windows,
+                                           Sink* sink)
+    : HybridTrackProcessor(plan, windows, sink, Options()) {}
+
+HybridTrackProcessor::HybridTrackProcessor(const LogicalPlan& plan,
+                                           const WindowSpec& windows,
+                                           Sink* sink, Options options)
+    : windows_(windows), options_(options), dedup_(sink) {
+  dedup_.set_metrics(&metrics_);
+  auto exec =
+      std::make_unique<PipelineExecutor>(plan, windows_, options_.exec);
+  exec->SetSink(&dedup_);
+  exec->SetMetrics(&metrics_);
+  plans_.push_back(std::move(exec));
+  boundaries_.push_back(0);
+}
+
+void HybridTrackProcessor::Push(const BaseTuple& tuple) {
+  Stamp stamp = next_stamp_++;
+  max_seq_seen_ = std::max(max_seq_seen_, tuple.seq);
+  for (auto& plan : plans_) {
+    plan->PushArrival(tuple, stamp);
+    plan->RunUntilIdle();
+  }
+  if (migrating() && ++events_since_check_ >= options_.purge_check_period) {
+    events_since_check_ = 0;
+    CheckDiscard();
+  }
+}
+
+Status HybridTrackProcessor::RequestTransition(const LogicalPlan& new_plan) {
+  Status valid = new_plan.Validate();
+  if (!valid.ok()) return valid;
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    OpKind k = new_plan.node(id).kind;
+    if (k == OpKind::kSetDifference || k == OpKind::kSemiJoin) {
+      return Status::Unimplemented(
+          "hybrid track supports join plans only");
+    }
+  }
+  PipelineExecutor& donor = *plans_.back();
+  if (!(new_plan.streams() == donor.plan().streams())) {
+    return Status::InvalidArgument(
+        "new plan must cover the same streams as the old plan");
+  }
+  // State matching (the Moving State ingredient): deep-copy every shared
+  // *authoritative* state from the newest live plan into the new one. A
+  // donor state is authoritative iff it is flagged complete — states the
+  // donor itself started empty (and has only partially refilled) would
+  // seed the new plan with gaps below fully-copied ancestors, the exact
+  // Section 4.2 hazard. Scans are always complete, so the new plan's
+  // windows start full either way.
+  StatePool pool;
+  last_states_copied_ = 0;
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    const PlanNode& n = new_plan.node(id);
+    Operator* source = donor.OpForStreams(n.streams);
+    if (source == nullptr || !source->state().complete()) continue;
+    pool.Put(source->state().Clone());
+    ++last_states_copied_;
+    metrics_.inserts += source->state().live_size();  // the copy cost
+  }
+  auto exec = std::make_unique<PipelineExecutor>(new_plan, windows_,
+                                                 options_.exec, &pool);
+  exec->SetSink(&dedup_);
+  exec->SetMetrics(&metrics_);
+  // States that start empty are marked incomplete so expiry propagation
+  // never stops at them (their combinations exist, materialized, in the
+  // complete ancestors we just copied). Unlike JISC there is no on-demand
+  // completion: the older plans cover the gap until they are purged.
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    Operator* op = exec->op(id);
+    if (op->state().live_size() == 0 && op->kind() != OpKind::kScan &&
+        !pool.Contains(op->streams())) {
+      // Not adopted from the pool (Take removed adopted ones): freshly
+      // created, hence empty and unauthoritative.
+      op->state().MarkIncomplete();
+    }
+  }
+  // The copied root content means this plan now also covers every live
+  // result; give it its share of the dedup counts so retractions stay
+  // exactly-once.
+  exec->root()->state().ForEachLive(
+      [this](const Tuple& t) { dedup_.NoteAdoption(t); });
+  bool fully_matched = true;
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    if (!exec->op(id)->state().complete()) fully_matched = false;
+  }
+  plans_.push_back(std::move(exec));
+  boundaries_.push_back(max_seq_seen_ + 1);
+  if (fully_matched) {
+    // Every state of the new plan was matched: it is self-sufficient from
+    // the first tuple and the older plans can be dropped without any
+    // migration stage at all — the one transition shape where the hybrid
+    // family clearly beats plain Parallel Track.
+    while (plans_.size() > 1) {
+      plans_.front()->root()->state().ForEachLive(
+          [this](const Tuple& t) { dedup_.NoteDiscard(t); });
+      plans_.erase(plans_.begin());
+      boundaries_.erase(boundaries_.begin());
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t HybridTrackProcessor::StateMemory() const {
+  uint64_t bytes = 0;
+  for (const auto& plan : plans_) bytes += StateMemoryBytes(*plan);
+  return bytes;
+}
+
+void HybridTrackProcessor::CheckDiscard() {
+  while (plans_.size() > 1) {
+    if (!plans_.front()->AllStatesNewerThan(boundaries_[1])) break;
+    plans_.front()->root()->state().ForEachLive(
+        [this](const Tuple& t) { dedup_.NoteDiscard(t); });
+    plans_.erase(plans_.begin());
+    boundaries_.erase(boundaries_.begin());
+  }
+}
+
+}  // namespace jisc

@@ -1,0 +1,36 @@
+#ifndef JISC_MIGRATION_MOVING_STATE_H_
+#define JISC_MIGRATION_MOVING_STATE_H_
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/migration_strategy.h"
+
+namespace jisc {
+
+// The Moving State Strategy [Zhu, Rundensteiner, Heineman; SIGMOD'04]
+// (Section 3.2): on transition the execution halts, states present in both
+// plans are moved, and every missing state of the new plan is eagerly
+// computed bottom-up before execution resumes. Correct and simple, but the
+// eager computation happens entirely inside Migrate(), so the query
+// produces no output for its duration — the latency the paper's Fig. 10
+// measures.
+class MovingStateStrategy : public MigrationStrategy {
+ public:
+  MovingStateStrategy() = default;
+
+  std::string name() const override { return "moving-state"; }
+  Status Migrate(Engine* engine, const LogicalPlan& new_plan) override;
+
+  // Work metrics of the most recent migration (state matching + computing).
+  uint64_t last_migration_inserts() const { return last_inserts_; }
+
+ private:
+  uint64_t last_inserts_ = 0;
+};
+
+std::unique_ptr<MigrationStrategy> MakeMovingStateStrategy();
+
+}  // namespace jisc
+
+#endif  // JISC_MIGRATION_MOVING_STATE_H_

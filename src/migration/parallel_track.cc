@@ -1,0 +1,89 @@
+#include "migration/parallel_track.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/validate.h"
+
+namespace jisc {
+
+ParallelTrackProcessor::ParallelTrackProcessor(const LogicalPlan& plan,
+                                               const WindowSpec& windows,
+                                               Sink* sink)
+    : ParallelTrackProcessor(plan, windows, sink, Options()) {}
+
+ParallelTrackProcessor::ParallelTrackProcessor(const LogicalPlan& plan,
+                                               const WindowSpec& windows,
+                                               Sink* sink, Options options)
+    : windows_(windows), options_(options), dedup_(sink) {
+  dedup_.set_metrics(&metrics_);
+  auto exec =
+      std::make_unique<PipelineExecutor>(plan, windows_, options_.exec);
+  exec->SetSink(&dedup_);
+  exec->SetMetrics(&metrics_);
+  plans_.push_back(std::move(exec));
+  boundaries_.push_back(0);
+}
+
+void ParallelTrackProcessor::Push(const BaseTuple& tuple) {
+  Stamp stamp = next_stamp_++;
+  max_seq_seen_ = std::max(max_seq_seen_, tuple.seq);
+  // Every live plan processes every tuple (the migration-stage throughput
+  // drop comes from exactly this).
+  for (auto& plan : plans_) {
+    plan->PushArrival(tuple, stamp);
+    plan->RunUntilIdle();
+  }
+  if (migrating() && ++events_since_check_ >= options_.purge_check_period) {
+    events_since_check_ = 0;
+    CheckDiscard();
+  }
+}
+
+Status ParallelTrackProcessor::RequestTransition(const LogicalPlan& new_plan) {
+  Status valid = new_plan.Validate();
+  if (!valid.ok()) return valid;
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    OpKind k = new_plan.node(id).kind;
+    if (k == OpKind::kSetDifference || k == OpKind::kSemiJoin) {
+      // The Parallel Track duplicate elimination assumes monotone
+      // (join-only) output; the paper presents it for join plans.
+      return Status::Unimplemented(
+          "Parallel Track supports join plans only");
+    }
+  }
+  if (!(new_plan.streams() == plans_.front()->plan().streams())) {
+    return Status::InvalidArgument(
+        "new plan must cover the same streams as the old plan");
+  }
+  // The new plan starts from scratch: empty states, empty windows.
+  auto exec =
+      std::make_unique<PipelineExecutor>(new_plan, windows_, options_.exec);
+  exec->SetSink(&dedup_);
+  exec->SetMetrics(&metrics_);
+  plans_.push_back(std::move(exec));
+  boundaries_.push_back(max_seq_seen_ + 1);
+  return Status::Ok();
+}
+
+uint64_t ParallelTrackProcessor::StateMemory() const {
+  uint64_t bytes = 0;
+  for (const auto& plan : plans_) bytes += StateMemoryBytes(*plan);
+  return bytes;
+}
+
+void ParallelTrackProcessor::CheckDiscard() {
+  while (plans_.size() > 1) {
+    // plans_[0] is redundant once every tuple it still holds was admitted
+    // after plans_[1] started (then plans_[1] has seen everything live).
+    if (!plans_.front()->AllStatesNewerThan(boundaries_[1])) break;
+    // Release the discarded plan's share of the dedup counts: its live
+    // results remain covered by the surviving plans.
+    plans_.front()->root()->state().ForEachLive(
+        [this](const Tuple& t) { dedup_.NoteDiscard(t); });
+    plans_.erase(plans_.begin());
+    boundaries_.erase(boundaries_.begin());
+  }
+}
+
+}  // namespace jisc

@@ -1,0 +1,81 @@
+#include "migration/state_materializer.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/nested_loops_join.h"
+
+namespace jisc {
+
+void MaterializeStateEagerly(Operator* op, Stamp stamp, Metrics* metrics) {
+  JISC_CHECK(op->kind() != OpKind::kScan);
+  OperatorState& st = op->state();
+  const OperatorState& left = op->left()->state();
+  const OperatorState& right = op->right()->state();
+  JISC_CHECK(left.complete() && right.complete());
+  st.Clear();
+
+  auto insert = [&](Tuple combo) {
+    combo.set_birth(stamp);
+    st.Insert(combo, stamp);
+    if (metrics != nullptr) ++metrics->inserts;
+  };
+
+  switch (op->kind()) {
+    case OpKind::kHashJoin: {
+      // Join bucket-by-bucket over the smaller child's distinct values.
+      const OperatorState& ref =
+          left.DistinctLiveKeys() <= right.DistinctLiveKeys() ? left : right;
+      const OperatorState& other = (&ref == &left) ? right : left;
+      for (JoinKey v : ref.LiveKeys()) {
+        std::vector<Tuple> a;
+        std::vector<Tuple> b;
+        ref.CollectLiveByKey(v, &a);
+        other.CollectLiveByKey(v, &b);
+        if (metrics != nullptr) metrics->probe_entries += a.size() + b.size();
+        for (const Tuple& x : a) {
+          for (const Tuple& y : b) {
+            insert(&ref == &left ? Tuple::Concat(x, y, stamp, false)
+                                 : Tuple::Concat(y, x, stamp, false));
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kNljJoin: {
+      // Full quadratic recomputation: this is what makes the Moving State
+      // latency explode for theta joins (Fig. 10b).
+      auto* nlj = static_cast<NestedLoopsJoin*>(op);
+      std::vector<Tuple> ls;
+      left.ForEachLive([&](const Tuple& t) { ls.push_back(t); });
+      right.ForEachLive([&](const Tuple& r) {
+        for (const Tuple& l : ls) {
+          if (metrics != nullptr) ++metrics->probe_entries;
+          if (nlj->theta().Matches(l, r)) {
+            insert(Tuple::Concat(l, r, stamp, false));
+          }
+        }
+      });
+      break;
+    }
+    case OpKind::kSetDifference: {
+      left.ForEachLive([&](const Tuple& l) {
+        if (metrics != nullptr) ++metrics->probe_entries;
+        if (!right.ContainsKeyLive(l.key())) insert(l);
+      });
+      break;
+    }
+    case OpKind::kSemiJoin: {
+      left.ForEachLive([&](const Tuple& l) {
+        if (metrics != nullptr) ++metrics->probe_entries;
+        if (right.ContainsKeyLive(l.key())) insert(l);
+      });
+      break;
+    }
+    case OpKind::kScan:
+      break;  // unreachable
+  }
+  st.MarkComplete();
+}
+
+}  // namespace jisc

@@ -1,0 +1,20 @@
+#ifndef JISC_MIGRATION_STATE_MATERIALIZER_H_
+#define JISC_MIGRATION_STATE_MATERIALIZER_H_
+
+#include "exec/metrics.h"
+#include "exec/operator.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Eagerly computes the state of `op` from its children's (complete, live)
+// states — the "state computing" step of the Moving State Strategy [4].
+// The children must already be materialized; callers process nodes
+// bottom-up. Entries are inserted at `stamp` and the state is marked
+// complete. The work performed is charged to `metrics` (this is the cost
+// that produces the Moving State output latency of Fig. 10).
+void MaterializeStateEagerly(Operator* op, Stamp stamp, Metrics* metrics);
+
+}  // namespace jisc
+
+#endif  // JISC_MIGRATION_STATE_MATERIALIZER_H_

@@ -1,0 +1,269 @@
+#include "plan/logical_plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kHashJoin:
+      return "HJ";
+    case OpKind::kNljJoin:
+      return "NLJ";
+    case OpKind::kSetDifference:
+      return "DIFF";
+    case OpKind::kSemiJoin:
+      return "SEMI";
+  }
+  return "?";
+}
+
+int LogicalPlan::AddScan(StreamId stream) {
+  PlanNode n;
+  n.id = static_cast<int>(nodes_.size());
+  n.kind = OpKind::kScan;
+  n.stream = stream;
+  n.streams = StreamSet::Single(stream);
+  nodes_.push_back(n);
+  return n.id;
+}
+
+int LogicalPlan::AddBinary(OpKind kind, int left, int right) {
+  JISC_CHECK(kind != OpKind::kScan);
+  PlanNode n;
+  n.id = static_cast<int>(nodes_.size());
+  n.kind = kind;
+  n.left = left;
+  n.right = right;
+  n.streams = StreamSet::Union(nodes_[left].streams, nodes_[right].streams);
+  nodes_.push_back(n);
+  nodes_[left].parent = n.id;
+  nodes_[right].parent = n.id;
+  return n.id;
+}
+
+LogicalPlan LogicalPlan::LeftDeep(const std::vector<StreamId>& order,
+                                  OpKind join_kind) {
+  JISC_CHECK(order.size() >= 2);
+  std::vector<OpKind> kinds(order.size() - 1, join_kind);
+  return LeftDeepMixed(order, kinds);
+}
+
+LogicalPlan LogicalPlan::LeftDeepMixed(const std::vector<StreamId>& order,
+                                       const std::vector<OpKind>& join_kinds) {
+  JISC_CHECK(order.size() >= 2);
+  JISC_CHECK(join_kinds.size() == order.size() - 1);
+  LogicalPlan p;
+  int acc = p.AddScan(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    int scan = p.AddScan(order[i]);
+    acc = p.AddBinary(join_kinds[i - 1], acc, scan);
+  }
+  p.root_ = acc;
+  JISC_CHECK(p.Validate().ok());
+  return p;
+}
+
+int LogicalPlan::BuildBushy(const std::vector<StreamId>& order, size_t lo,
+                            size_t hi, OpKind join_kind) {
+  if (hi - lo == 1) return AddScan(order[lo]);
+  size_t mid = lo + (hi - lo + 1) / 2;  // left half gets the extra element
+  int left = BuildBushy(order, lo, mid, join_kind);
+  int right = BuildBushy(order, mid, hi, join_kind);
+  return AddBinary(join_kind, left, right);
+}
+
+LogicalPlan LogicalPlan::BalancedBushy(const std::vector<StreamId>& order,
+                                       OpKind join_kind) {
+  JISC_CHECK(order.size() >= 2);
+  LogicalPlan p;
+  p.root_ = p.BuildBushy(order, 0, order.size(), join_kind);
+  JISC_CHECK(p.Validate().ok());
+  return p;
+}
+
+LogicalPlan LogicalPlan::SetDifferenceChain(
+    StreamId outer, const std::vector<StreamId>& inners) {
+  JISC_CHECK(!inners.empty());
+  LogicalPlan p;
+  int acc = p.AddScan(outer);
+  for (StreamId inner : inners) {
+    int scan = p.AddScan(inner);
+    acc = p.AddBinary(OpKind::kSetDifference, acc, scan);
+  }
+  p.root_ = acc;
+  JISC_CHECK(p.Validate().ok());
+  return p;
+}
+
+LogicalPlan LogicalPlan::SemiJoinChain(StreamId outer,
+                                       const std::vector<StreamId>& inners) {
+  JISC_CHECK(!inners.empty());
+  LogicalPlan p;
+  int acc = p.AddScan(outer);
+  for (StreamId inner : inners) {
+    int scan = p.AddScan(inner);
+    acc = p.AddBinary(OpKind::kSemiJoin, acc, scan);
+  }
+  p.root_ = acc;
+  JISC_CHECK(p.Validate().ok());
+  return p;
+}
+
+StatusOr<LogicalPlan> LogicalPlan::FromShape(
+    const std::vector<ShapeEntry>& postorder) {
+  if (postorder.empty()) {
+    return Status::InvalidArgument("empty plan shape");
+  }
+  LogicalPlan p;
+  std::vector<int> stack;
+  StreamSet seen;
+  for (const ShapeEntry& e : postorder) {
+    if (e.leaf) {
+      if (seen.Contains(e.stream)) {
+        return Status::InvalidArgument("stream scanned twice");
+      }
+      seen = StreamSet::Union(seen, StreamSet::Single(e.stream));
+      stack.push_back(p.AddScan(e.stream));
+    } else {
+      if (e.kind == OpKind::kScan) {
+        return Status::InvalidArgument("internal shape entry must be binary");
+      }
+      if (stack.size() < 2) {
+        return Status::InvalidArgument("malformed plan shape");
+      }
+      int right = stack.back();
+      stack.pop_back();
+      int left = stack.back();
+      stack.pop_back();
+      stack.push_back(p.AddBinary(e.kind, left, right));
+    }
+  }
+  if (stack.size() != 1) {
+    return Status::InvalidArgument("plan shape does not form a single tree");
+  }
+  p.root_ = stack.back();
+  Status valid = p.Validate();
+  if (!valid.ok()) return valid;
+  return p;
+}
+
+int LogicalPlan::ScanFor(StreamId stream) const {
+  for (const auto& n : nodes_) {
+    if (n.kind == OpKind::kScan && n.stream == stream) return n.id;
+  }
+  return -1;
+}
+
+std::vector<StreamSet> LogicalPlan::StateSets() const {
+  std::vector<StreamSet> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.streams);
+  return out;
+}
+
+bool LogicalPlan::IsLeftDeep() const {
+  for (const auto& n : nodes_) {
+    if (n.kind == OpKind::kScan) continue;
+    if (!IsLeaf(n.right)) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<StreamId>> LogicalPlan::LeftDeepOrder() const {
+  if (!IsLeftDeep()) {
+    return Status::FailedPrecondition("plan is not left-deep");
+  }
+  // Walk down the left spine collecting right leaves, then reverse.
+  std::vector<StreamId> rev;
+  int cur = root_;
+  while (!IsLeaf(cur)) {
+    rev.push_back(nodes_[nodes_[cur].right].stream);
+    cur = nodes_[cur].left;
+  }
+  rev.push_back(nodes_[cur].stream);
+  return std::vector<StreamId>(rev.rbegin(), rev.rend());
+}
+
+Status LogicalPlan::Validate() const {
+  if (nodes_.empty() || root_ < 0 || root_ >= num_nodes()) {
+    return Status::InvalidArgument("plan has no root");
+  }
+  if (nodes_[root_].parent != -1) {
+    return Status::InvalidArgument("root has a parent");
+  }
+  StreamSet seen;
+  for (const auto& n : nodes_) {
+    if (n.kind == OpKind::kScan) {
+      if (n.left != -1 || n.right != -1) {
+        return Status::InvalidArgument("scan with children");
+      }
+      if (seen.Contains(n.stream)) {
+        return Status::InvalidArgument("stream scanned twice");
+      }
+      seen = StreamSet::Union(seen, StreamSet::Single(n.stream));
+    } else {
+      if (n.left < 0 || n.left >= num_nodes() || n.right < 0 ||
+          n.right >= num_nodes()) {
+        return Status::InvalidArgument("binary node with bad child links");
+      }
+      if (nodes_[n.left].parent != n.id || nodes_[n.right].parent != n.id) {
+        return Status::InvalidArgument("child parent link mismatch");
+      }
+      if (nodes_[n.left].streams.Intersects(nodes_[n.right].streams)) {
+        return Status::InvalidArgument("join children share streams");
+      }
+      StreamSet expect =
+          StreamSet::Union(nodes_[n.left].streams, nodes_[n.right].streams);
+      if (!(expect == n.streams)) {
+        return Status::InvalidArgument("stale stream set");
+      }
+    }
+  }
+  if (!(seen == nodes_[root_].streams)) {
+    return Status::InvalidArgument("root stream set mismatch");
+  }
+  return Status::Ok();
+}
+
+std::string LogicalPlan::NodeToString(int id) const {
+  const PlanNode& n = nodes_[id];
+  if (n.kind == OpKind::kScan) {
+    return "S" + std::to_string(n.stream);
+  }
+  return "(" + NodeToString(n.left) + " " + OpKindName(n.kind) + " " +
+         NodeToString(n.right) + ")";
+}
+
+std::string LogicalPlan::ToString() const {
+  if (root_ < 0) return "<empty>";
+  return NodeToString(root_);
+}
+
+bool operator==(const LogicalPlan& a, const LogicalPlan& b) {
+  if (a.root_ != b.root_ || a.nodes_.size() != b.nodes_.size()) return false;
+  for (size_t i = 0; i < a.nodes_.size(); ++i) {
+    const PlanNode& x = a.nodes_[i];
+    const PlanNode& y = b.nodes_[i];
+    if (x.kind != y.kind || x.stream != y.stream || x.left != y.left ||
+        x.right != y.right || x.parent != y.parent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<StreamId> SwapPositions(std::vector<StreamId> order, int i,
+                                    int j) {
+  JISC_CHECK(i >= 0 && j >= 0);
+  JISC_CHECK(i < static_cast<int>(order.size()));
+  JISC_CHECK(j < static_cast<int>(order.size()));
+  std::swap(order[i], order[j]);
+  return order;
+}
+
+}  // namespace jisc

@@ -1,0 +1,133 @@
+#ifndef JISC_PLAN_LOGICAL_PLAN_H_
+#define JISC_PLAN_LOGICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Kind of each plan operator. Scans are leaves; the binary operators carry
+// state and are the subject of plan migration.
+enum class OpKind {
+  kScan,
+  kHashJoin,       // symmetric hash join (equi-join on the shared attribute)
+  kNljJoin,        // symmetric nested-loops join (general theta join)
+  kSetDifference,  // windowed set difference (Section 4.7)
+  kSemiJoin,       // windowed semi join (Section 4.7 generalized further:
+                   // outer tuples that DO have a live inner match)
+};
+
+const char* OpKindName(OpKind kind);
+
+// One node of a binary plan tree. Plain data; LogicalPlan owns the vector
+// and maintains the derived fields (streams, parent).
+struct PlanNode {
+  int id = -1;
+  OpKind kind = OpKind::kScan;
+  StreamId stream = 0;  // meaningful for scans only
+  int left = -1;        // child node ids; -1 for scans
+  int right = -1;
+  int parent = -1;      // -1 for the root
+  StreamSet streams;    // streams covered by this subtree
+};
+
+// An immutable binary tree-structured query plan over a set of streams.
+// Node 0..n-1 are stored in a vector; structure is by id links. The identity
+// of the *state* materialized at a node is its StreamSet (see
+// state/state_id.h); two plans over the same query share state identities
+// exactly when subtrees cover the same streams.
+class LogicalPlan {
+ public:
+  LogicalPlan() = default;
+
+  // ((...(order[0] J order[1]) J order[2]) ... J order[n-1]) with every join
+  // of kind `join_kind`.
+  static LogicalPlan LeftDeep(const std::vector<StreamId>& order,
+                              OpKind join_kind);
+
+  // Left-deep with per-level join kinds; join_kinds.size() must be
+  // order.size() - 1; join_kinds[0] is the bottom join.
+  static LogicalPlan LeftDeepMixed(const std::vector<StreamId>& order,
+                                   const std::vector<OpKind>& join_kinds);
+
+  // Balanced bushy tree over `order` (recursively split in half), all joins
+  // of kind `join_kind`.
+  static LogicalPlan BalancedBushy(const std::vector<StreamId>& order,
+                                   OpKind join_kind);
+
+  // Set-difference chain ((...(outer - inners[0]) - inners[1]) ... ).
+  static LogicalPlan SetDifferenceChain(StreamId outer,
+                                        const std::vector<StreamId>& inners);
+
+  // Semi-join chain ((...(outer |X inners[0]) |X inners[1]) ... ): outer
+  // tuples with a live match in every inner stream.
+  static LogicalPlan SemiJoinChain(StreamId outer,
+                                   const std::vector<StreamId>& inners);
+
+  // Generic assembly from a postorder shape description (leaves carry the
+  // stream, internal entries the operator kind). Enables arbitrary tree
+  // shapes beyond the convenience builders; used by the plan parser and
+  // the random-tree fuzzer.
+  struct ShapeEntry {
+    bool leaf = false;
+    StreamId stream = 0;
+    OpKind kind = OpKind::kScan;
+  };
+  static StatusOr<LogicalPlan> FromShape(
+      const std::vector<ShapeEntry>& postorder);
+
+  // --- structure access ---
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const PlanNode& node(int id) const { return nodes_[id]; }
+  bool IsLeaf(int id) const { return nodes_[id].kind == OpKind::kScan; }
+
+  // Scan node id for a stream, or -1.
+  int ScanFor(StreamId stream) const;
+
+  // All streams referenced by the plan.
+  StreamSet streams() const { return nodes_.empty() ? StreamSet()
+                                                    : nodes_[root_].streams; }
+
+  // StreamSets of every node (leaf and internal, including the root): the
+  // identities of all states the plan materializes.
+  std::vector<StreamSet> StateSets() const;
+
+  // True if every internal node's right child is a leaf (left-deep chain).
+  bool IsLeftDeep() const;
+
+  // For a left-deep plan: the bottom-up stream order
+  // (order[0], order[1] are the leaf join's children). Status error if the
+  // plan is not left-deep.
+  StatusOr<std::vector<StreamId>> LeftDeepOrder() const;
+
+  // Structural sanity: single root, every stream scanned once, children
+  // linked consistently, stream sets disjoint at binary nodes.
+  Status Validate() const;
+
+  // e.g. "((S0 HJ S1) HJ S2)".
+  std::string ToString() const;
+
+  friend bool operator==(const LogicalPlan& a, const LogicalPlan& b);
+
+ private:
+  int AddScan(StreamId stream);
+  int AddBinary(OpKind kind, int left, int right);
+  int BuildBushy(const std::vector<StreamId>& order, size_t lo, size_t hi,
+                 OpKind join_kind);
+  std::string NodeToString(int id) const;
+
+  std::vector<PlanNode> nodes_;
+  int root_ = -1;
+};
+
+// Returns `order` with the elements at positions i and j exchanged
+// (0-based). Used to generate the paper's pairwise join exchanges.
+std::vector<StreamId> SwapPositions(std::vector<StreamId> order, int i, int j);
+
+}  // namespace jisc
+
+#endif  // JISC_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,44 @@
+#include "plan/plan_diff.h"
+
+#include <unordered_set>
+
+namespace jisc {
+
+StateSnapshot StateSnapshot::AllComplete(const LogicalPlan& plan) {
+  StateSnapshot s;
+  for (StreamSet set : plan.StateSets()) s.Add(set, true);
+  return s;
+}
+
+PlanDiff DiffPlans(const LogicalPlan& new_plan, const StateSnapshot& old) {
+  PlanDiff diff;
+  diff.node_complete.assign(static_cast<size_t>(new_plan.num_nodes()), false);
+
+  std::unordered_set<uint64_t> new_sets;
+  for (int id = 0; id < new_plan.num_nodes(); ++id) {
+    const PlanNode& n = new_plan.node(id);
+    new_sets.insert(n.streams.bits());
+    auto it = old.completeness.find(n.streams);
+    bool complete = (it != old.completeness.end()) && it->second;
+    diff.node_complete[id] = complete;
+    if (complete && n.kind != OpKind::kScan) {
+      diff.copied.push_back(n.streams);
+    }
+    if (!complete) {
+      diff.incomplete.push_back(n.streams);
+    }
+  }
+  for (const auto& [set, was_complete] : old.completeness) {
+    (void)was_complete;
+    if (new_sets.find(set.bits()) == new_sets.end()) {
+      diff.discarded.push_back(set);
+    }
+  }
+  return diff;
+}
+
+PlanDiff DiffPlans(const LogicalPlan& new_plan, const LogicalPlan& old_plan) {
+  return DiffPlans(new_plan, StateSnapshot::AllComplete(old_plan));
+}
+
+}  // namespace jisc

@@ -1,0 +1,50 @@
+#ifndef JISC_PLAN_PLAN_DIFF_H_
+#define JISC_PLAN_PLAN_DIFF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "plan/logical_plan.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// What a running executor knows about its states at transition time:
+// identity (StreamSet) -> is the state complete? During normal operation all
+// states are complete; under JISC some may still be incomplete from an
+// earlier, overlapping transition (Section 4.5).
+struct StateSnapshot {
+  std::unordered_map<StreamSet, bool, StreamSetHash> completeness;
+
+  void Add(StreamSet id, bool complete) { completeness[id] = complete; }
+
+  // All states complete (normal operation snapshot for `plan`).
+  static StateSnapshot AllComplete(const LogicalPlan& plan);
+};
+
+// Classification of the new plan's states per Definition 1, refined by the
+// overlapped-transition rule of Section 4.5: a new-plan state is complete
+// iff it exists in the old plan *and* was complete there.
+struct PlanDiff {
+  // Indexed by new-plan node id.
+  std::vector<bool> node_complete;
+  // States of the old plan reused by the new plan (Definition 1 "copied").
+  std::vector<StreamSet> copied;
+  // States of the old plan absent from the new plan (discarded at
+  // transition, Section 4.1).
+  std::vector<StreamSet> discarded;
+  // States of the new plan that start incomplete.
+  std::vector<StreamSet> incomplete;
+
+  int NumIncomplete() const { return static_cast<int>(incomplete.size()); }
+};
+
+PlanDiff DiffPlans(const LogicalPlan& new_plan, const StateSnapshot& old);
+
+// Convenience: diff between two plans assuming the old one is fully
+// complete (a first transition during normal operation).
+PlanDiff DiffPlans(const LogicalPlan& new_plan, const LogicalPlan& old_plan);
+
+}  // namespace jisc
+
+#endif  // JISC_PLAN_PLAN_DIFF_H_

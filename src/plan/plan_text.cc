@@ -1,0 +1,172 @@
+#include "plan/plan_text.h"
+
+#include <cctype>
+#include <functional>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+namespace {
+
+// Recursive-descent parser building directly into a node-list; converted to
+// a LogicalPlan via the builders by reconstructing structure bottom-up.
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  // A parsed subtree: either a leaf stream or an operator over two subtrees.
+  struct Node {
+    bool leaf = false;
+    StreamId stream = 0;
+    OpKind kind = OpKind::kHashJoin;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  StatusOr<std::unique_ptr<Node>> ParseNode() {
+    SkipSpace();
+    if (pos >= text.size()) {
+      return Status::InvalidArgument("unexpected end of plan text");
+    }
+    if (text[pos] == 'S') {
+      ++pos;
+      size_t start = pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      if (pos == start) {
+        return Status::InvalidArgument("expected stream number after 'S'");
+      }
+      long v = std::stol(text.substr(start, pos - start));
+      if (v < 0 || v >= kMaxStreams) {
+        return Status::InvalidArgument("stream id out of range");
+      }
+      auto n = std::make_unique<Node>();
+      n->leaf = true;
+      n->stream = static_cast<StreamId>(v);
+      return n;
+    }
+    if (!Eat('(')) {
+      return Status::InvalidArgument("expected '(' or scan");
+    }
+    auto left = ParseNode();
+    if (!left.ok()) return left.status();
+    SkipSpace();
+    // Operator token.
+    size_t start = pos;
+    while (pos < text.size() &&
+           std::isupper(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    std::string op = text.substr(start, pos - start);
+    OpKind kind;
+    if (op == "HJ") {
+      kind = OpKind::kHashJoin;
+    } else if (op == "NLJ") {
+      kind = OpKind::kNljJoin;
+    } else if (op == "DIFF") {
+      kind = OpKind::kSetDifference;
+    } else if (op == "SEMI") {
+      kind = OpKind::kSemiJoin;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + op + "'");
+    }
+    auto right = ParseNode();
+    if (!right.ok()) return right.status();
+    if (!Eat(')')) {
+      return Status::InvalidArgument("expected ')'");
+    }
+    auto n = std::make_unique<Node>();
+    n->kind = kind;
+    n->left = std::move(left).value();
+    n->right = std::move(right).value();
+    return n;
+  }
+};
+
+// Flattens the parse tree into the postorder shape LogicalPlan::FromShape
+// assembles from.
+class PlanAssembler {
+ public:
+  StatusOr<LogicalPlan> Assemble(const Parser::Node& root) {
+    Status s = Collect(root);
+    if (!s.ok()) return s;
+    return LogicalPlan::FromShape(shape_);
+  }
+
+ private:
+  Status Collect(const Parser::Node& n) {
+    if (n.leaf) {
+      shape_.push_back({true, n.stream, OpKind::kScan});
+      return Status::Ok();
+    }
+    Status l = Collect(*n.left);
+    if (!l.ok()) return l;
+    Status r = Collect(*n.right);
+    if (!r.ok()) return r;
+    shape_.push_back({false, 0, n.kind});
+    return Status::Ok();
+  }
+
+  std::vector<LogicalPlan::ShapeEntry> shape_;
+};
+
+}  // namespace
+
+StatusOr<LogicalPlan> ParsePlan(const std::string& text) {
+  Parser p(text);
+  auto node = p.ParseNode();
+  if (!node.ok()) return node.status();
+  p.SkipSpace();
+  if (p.pos != text.size()) {
+    return Status::InvalidArgument("trailing characters after plan");
+  }
+  PlanAssembler assembler;
+  return assembler.Assemble(*node.value());
+}
+
+LogicalPlan RandomPlanTree(const std::vector<StreamId>& streams,
+                           OpKind join_kind, Rng* rng) {
+  JISC_CHECK(streams.size() >= 2);
+  std::vector<StreamId> order = streams;
+  rng->Shuffle(&order);
+  // Postorder shape over a uniformly random split structure.
+  std::vector<LogicalPlan::ShapeEntry> shape;
+  std::function<void(size_t, size_t)> build = [&](size_t lo, size_t hi) {
+    if (hi - lo == 1) {
+      shape.push_back({true, order[lo], OpKind::kScan});
+      return;
+    }
+    size_t split = lo + 1 + rng->UniformU64(hi - lo - 1);
+    build(lo, split);
+    build(split, hi);
+    shape.push_back({false, 0, join_kind});
+  };
+  build(0, order.size());
+  auto plan = LogicalPlan::FromShape(shape);
+  JISC_CHECK(plan.ok());
+  return std::move(plan).value();
+}
+
+}  // namespace jisc

@@ -1,0 +1,28 @@
+#ifndef JISC_PLAN_PLAN_TEXT_H_
+#define JISC_PLAN_PLAN_TEXT_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace jisc {
+
+// Parses the textual plan syntax produced by LogicalPlan::ToString():
+//   plan  := scan | "(" plan OP plan ")"
+//   scan  := "S" digits
+//   OP    := "HJ" | "NLJ" | "DIFF" | "SEMI"
+// e.g. "((S0 HJ S1) HJ S2)". Round-trips with ToString(); rejects malformed
+// input and structurally invalid plans (duplicate streams, ...).
+StatusOr<LogicalPlan> ParsePlan(const std::string& text);
+
+// Uniformly random binary tree shape over the given streams (shuffled),
+// every internal node of `join_kind`. Used by the fuzz suites to cover
+// arbitrary bushy shapes, not just left-deep chains and balanced trees.
+LogicalPlan RandomPlanTree(const std::vector<StreamId>& streams,
+                           OpKind join_kind, Rng* rng);
+
+}  // namespace jisc
+
+#endif  // JISC_PLAN_PLAN_TEXT_H_

@@ -1,0 +1,68 @@
+#include "plan/transitions.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+std::vector<StreamId> BestCaseOrder(std::vector<StreamId> order) {
+  JISC_CHECK(order.size() >= 2);
+  std::swap(order[order.size() - 1], order[order.size() - 2]);
+  return order;
+}
+
+std::vector<StreamId> WorstCaseOrder(std::vector<StreamId> order) {
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<StreamId> AdjacentSwap(std::vector<StreamId> order, int pos) {
+  JISC_CHECK(pos >= 0);
+  JISC_CHECK(pos + 1 < static_cast<int>(order.size()));
+  std::swap(order[pos], order[pos + 1]);
+  return order;
+}
+
+std::vector<StreamId> RandomTriangularSwap(std::vector<StreamId> order,
+                                           Rng* rng, int* i, int* j) {
+  // The paper labels operator positions 1..n for n joins over n+1 streams,
+  // with the two bottom streams sharing label 1. A swap of operator
+  // positions (I, J) exchanges the streams at (0-based) stream positions
+  // I and J when I > 1, and position 0 or 1 (choose 0) when I == 1.
+  int n = static_cast<int>(order.size()) - 1;  // number of join operators
+  JISC_CHECK(n >= 2);
+  TriangularSwapDistribution dist(n);
+  auto [pi, pj] = dist.Sample(rng);
+  if (i != nullptr) *i = pi;
+  if (j != nullptr) *j = pj;
+  // Operator position p corresponds to stream position p (0-based index p)
+  // for p >= 1; operator 1 owns stream positions 0 and 1 — exchanging the
+  // upper of the two keeps the mapping one-to-one.
+  std::swap(order[pi], order[pj]);
+  return order;
+}
+
+int CountIncompleteStates(const std::vector<StreamId>& old_order,
+                          const std::vector<StreamId>& new_order) {
+  JISC_CHECK(old_order.size() == new_order.size());
+  JISC_CHECK(old_order.size() >= 2);
+  // Prefix stream-sets of the old plan; every state of a left-deep plan is
+  // either a leaf (always complete) or a prefix set.
+  std::unordered_set<uint64_t> old_sets;
+  uint64_t mask = 0;
+  for (StreamId s : old_order) {
+    mask |= 1ULL << s;
+    old_sets.insert(mask);
+  }
+  int incomplete = 0;
+  mask = 1ULL << new_order[0];
+  for (size_t k = 1; k < new_order.size(); ++k) {
+    mask |= 1ULL << new_order[k];
+    if (old_sets.find(mask) == old_sets.end()) ++incomplete;
+  }
+  return incomplete;
+}
+
+}  // namespace jisc

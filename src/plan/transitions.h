@@ -1,0 +1,42 @@
+#ifndef JISC_PLAN_TRANSITIONS_H_
+#define JISC_PLAN_TRANSITIONS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "plan/logical_plan.h"
+
+namespace jisc {
+
+// Generators for the join-order changes used in the paper's experiments.
+// All operate on the bottom-up stream order of a left-deep plan.
+
+// Paper best case (Fig. 5, Figs. 7/12): exchange the two topmost streams.
+// Exactly one state of the new plan (the one just below the root) is
+// incomplete; every unchanged subtree keeps complete states.
+std::vector<StreamId> BestCaseOrder(std::vector<StreamId> order);
+
+// Paper worst case (Figs. 3b, 8/11): reverse the join order. Every
+// intermediate (non-root, non-leaf) state of the new plan is incomplete.
+std::vector<StreamId> WorstCaseOrder(std::vector<StreamId> order);
+
+// Exchange the streams at (0-based) positions pos and pos+1. The number of
+// incomplete states after the transition is 1.
+std::vector<StreamId> AdjacentSwap(std::vector<StreamId> order, int pos);
+
+// Samples a pairwise exchange from the triangular distribution of
+// Section 5.2 (positions close together are likelier) and applies it.
+// The sampled 1-based positions are returned through *i and *j when non-null.
+std::vector<StreamId> RandomTriangularSwap(std::vector<StreamId> order,
+                                           Rng* rng, int* i = nullptr,
+                                           int* j = nullptr);
+
+// Number of incomplete states a left-deep -> left-deep transition produces,
+// computed structurally (prefix-set comparison). Used to cross-check the
+// Section 5 model (incomplete = J - I for a pairwise exchange).
+int CountIncompleteStates(const std::vector<StreamId>& old_order,
+                          const std::vector<StreamId>& new_order);
+
+}  // namespace jisc
+
+#endif  // JISC_PLAN_TRANSITIONS_H_

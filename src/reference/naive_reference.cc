@@ -1,0 +1,161 @@
+#include "reference/naive_reference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+NaiveJoinReference::NaiveJoinReference(int num_streams,
+                                       const WindowSpec& windows,
+                                       ThetaSpec theta)
+    : num_streams_(num_streams),
+      windows_(windows),
+      theta_(theta),
+      windows_data_(static_cast<size_t>(num_streams)) {
+  JISC_CHECK(num_streams >= 1);
+  JISC_CHECK(windows.num_streams() >= num_streams);
+}
+
+void NaiveJoinReference::CombosWith(const BaseTuple& pivot,
+                                    std::vector<Tuple>* out) const {
+  // Depth-first product over the other streams, pruning with theta.
+  Tuple seed = Tuple::FromBase(pivot, /*birth=*/0, /*fresh=*/true);
+  std::vector<Tuple> partial{seed};
+  for (StreamId s = 0; s < num_streams_; ++s) {
+    if (s == pivot.stream) continue;
+    std::vector<Tuple> next;
+    for (const Tuple& t : partial) {
+      for (const BaseTuple& cand : windows_data_[s]) {
+        Tuple c = Tuple::FromBase(cand, 0, true);
+        if (theta_.Matches(t, c)) {
+          next.push_back(Tuple::Concat(t, c, 0, true));
+        }
+      }
+    }
+    partial = std::move(next);
+    if (partial.empty()) return;
+  }
+  for (Tuple& t : partial) out->push_back(std::move(t));
+}
+
+void NaiveJoinReference::Push(const BaseTuple& tuple,
+                              std::vector<Tuple>* new_outputs,
+                              std::vector<Tuple>* retractions) {
+  auto& win = windows_data_[tuple.stream];
+  // Expire first (the arriving tuple must not join displaced ones).
+  auto expire_front = [&]() {
+    BaseTuple oldest = win.front();
+    win.pop_front();
+    if (retractions != nullptr) CombosWith(oldest, retractions);
+  };
+  if (windows_.time_based()) {
+    while (!win.empty() &&
+           win.front().ts + windows_.SizeFor(tuple.stream) <= tuple.ts) {
+      expire_front();
+    }
+  } else if (win.size() >= windows_.SizeFor(tuple.stream)) {
+    expire_front();
+  }
+  win.push_back(tuple);
+  if (new_outputs != nullptr) CombosWith(tuple, new_outputs);
+}
+
+std::vector<Tuple> NaiveJoinReference::CurrentResult() const {
+  std::vector<Tuple> out;
+  // Pivot on stream 0's tuples: every combination contains exactly one.
+  if (num_streams_ == 1) {
+    for (const BaseTuple& b : windows_data_[0]) {
+      out.push_back(Tuple::FromBase(b, 0, true));
+    }
+    return out;
+  }
+  for (const BaseTuple& b : windows_data_[0]) CombosWith(b, &out);
+  return out;
+}
+
+NaiveDifferenceReference::NaiveDifferenceReference(StreamId outer,
+                                                   std::vector<StreamId> inners,
+                                                   const WindowSpec& windows)
+    : outer_(outer), inners_(std::move(inners)), windows_(windows) {
+  int max_stream = outer_;
+  for (StreamId s : inners_) max_stream = std::max<int>(max_stream, s);
+  windows_data_.resize(static_cast<size_t>(max_stream) + 1);
+}
+
+void NaiveDifferenceReference::Push(const BaseTuple& tuple) {
+  auto& win = windows_data_[tuple.stream];
+  if (windows_.time_based()) {
+    while (!win.empty() &&
+           win.front().ts + windows_.SizeFor(tuple.stream) <= tuple.ts) {
+      win.pop_front();
+    }
+  } else if (win.size() >= windows_.SizeFor(tuple.stream)) {
+    win.pop_front();
+  }
+  win.push_back(tuple);
+}
+
+std::vector<BaseTuple> NaiveDifferenceReference::CurrentResult() const {
+  std::vector<BaseTuple> out;
+  for (const BaseTuple& a : windows_data_[outer_]) {
+    bool suppressed = false;
+    for (StreamId s : inners_) {
+      for (const BaseTuple& b : windows_data_[s]) {
+        if (b.key == a.key) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (suppressed) break;
+    }
+    if (!suppressed) out.push_back(a);
+  }
+  return out;
+}
+
+NaiveSemiJoinReference::NaiveSemiJoinReference(StreamId outer,
+                                               std::vector<StreamId> inners,
+                                               const WindowSpec& windows)
+    : outer_(outer), inners_(std::move(inners)), windows_(windows) {
+  int max_stream = outer_;
+  for (StreamId s : inners_) max_stream = std::max<int>(max_stream, s);
+  windows_data_.resize(static_cast<size_t>(max_stream) + 1);
+}
+
+void NaiveSemiJoinReference::Push(const BaseTuple& tuple) {
+  auto& win = windows_data_[tuple.stream];
+  if (windows_.time_based()) {
+    while (!win.empty() &&
+           win.front().ts + windows_.SizeFor(tuple.stream) <= tuple.ts) {
+      win.pop_front();
+    }
+  } else if (win.size() >= windows_.SizeFor(tuple.stream)) {
+    win.pop_front();
+  }
+  win.push_back(tuple);
+}
+
+std::vector<BaseTuple> NaiveSemiJoinReference::CurrentResult() const {
+  std::vector<BaseTuple> out;
+  for (const BaseTuple& a : windows_data_[outer_]) {
+    bool witnessed_everywhere = true;
+    for (StreamId s : inners_) {
+      bool found = false;
+      for (const BaseTuple& b : windows_data_[s]) {
+        if (b.key == a.key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        witnessed_everywhere = false;
+        break;
+      }
+    }
+    if (witnessed_everywhere) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace jisc

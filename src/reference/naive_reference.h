@@ -1,0 +1,87 @@
+#ifndef JISC_REFERENCE_NAIVE_REFERENCE_H_
+#define JISC_REFERENCE_NAIVE_REFERENCE_H_
+
+#include <deque>
+#include <vector>
+
+#include "exec/theta.h"
+#include "stream/window.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Ground-truth executor for windowed multiway joins: maintains the raw
+// per-stream windows and recomputes result deltas by brute force. Used by
+// the test suite to check the Completeness / Closedness / Duplicate-freedom
+// theorems (paper appendix) for every strategy under arbitrary transition
+// schedules: an engine's cumulative output and retraction multisets must
+// match the reference exactly, transitions or not.
+class NaiveJoinReference {
+ public:
+  NaiveJoinReference(int num_streams, const WindowSpec& windows,
+                     ThetaSpec theta = ThetaSpec());
+
+  // Admits one tuple; appends the result combinations this arrival creates
+  // to `new_outputs` and the combinations its window slide destroys to
+  // `retractions` (either may be null).
+  void Push(const BaseTuple& tuple, std::vector<Tuple>* new_outputs,
+            std::vector<Tuple>* retractions);
+
+  // All currently-live result combinations.
+  std::vector<Tuple> CurrentResult() const;
+
+  const std::deque<BaseTuple>& window(StreamId stream) const {
+    return windows_data_[stream];
+  }
+
+ private:
+  // All combinations over every stream that include `pivot` (from stream
+  // pivot.stream) and satisfy theta all-pairs.
+  void CombosWith(const BaseTuple& pivot, std::vector<Tuple>* out) const;
+
+  int num_streams_;
+  WindowSpec windows_;
+  ThetaSpec theta_;
+  std::vector<std::deque<BaseTuple>> windows_data_;
+};
+
+// Ground truth for a set-difference chain outer - (i1 u i2 u ...): the live
+// outer tuples with no live key match in any inner window.
+class NaiveDifferenceReference {
+ public:
+  NaiveDifferenceReference(StreamId outer, std::vector<StreamId> inners,
+                           const WindowSpec& windows);
+
+  void Push(const BaseTuple& tuple);
+
+  // Current survivors, ordered by sequence number.
+  std::vector<BaseTuple> CurrentResult() const;
+
+ private:
+  StreamId outer_;
+  std::vector<StreamId> inners_;
+  WindowSpec windows_;
+  std::vector<std::deque<BaseTuple>> windows_data_;
+};
+
+// Ground truth for a semi-join chain: live outer tuples with a live key
+// match in EVERY inner window.
+class NaiveSemiJoinReference {
+ public:
+  NaiveSemiJoinReference(StreamId outer, std::vector<StreamId> inners,
+                         const WindowSpec& windows);
+
+  void Push(const BaseTuple& tuple);
+
+  std::vector<BaseTuple> CurrentResult() const;
+
+ private:
+  StreamId outer_;
+  std::vector<StreamId> inners_;
+  WindowSpec windows_;
+  std::vector<std::deque<BaseTuple>> windows_data_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_REFERENCE_NAIVE_REFERENCE_H_

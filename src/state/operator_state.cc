@@ -1,0 +1,236 @@
+#include "state/operator_state.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+OperatorState::OperatorState(StreamSet id, StateIndex index)
+    : id_(id), index_(index) {}
+
+std::unique_ptr<OperatorState> OperatorState::Clone() const {
+  auto copy = std::make_unique<OperatorState>(id_, index_);
+  for (const auto& [k, b] : buckets_) {
+    (void)k;
+    for (const Entry& e : b.entries) {
+      if (e.live()) copy->Insert(e.tuple, e.insert_stamp);
+    }
+  }
+  copy->complete_ = complete_;
+  copy->completed_keys_ = completed_keys_;
+  return copy;
+}
+
+void OperatorState::NoteInsert(Bucket* b) {
+  if (b->live == 0) ++live_keys_;
+  ++b->live;
+  ++live_size_;
+}
+
+void OperatorState::NoteRemove(Bucket* b) {
+  JISC_DCHECK(b->live > 0);
+  --b->live;
+  --live_size_;
+  if (b->live == 0) --live_keys_;
+}
+
+bool OperatorState::Insert(const Tuple& tuple, Stamp insert_stamp,
+                           bool dedup) {
+  Bucket& b = buckets_[tuple.key()];
+  if (dedup) {
+    for (const Entry& e : b.entries) {
+      if (e.live() && e.tuple == tuple) return false;
+    }
+  }
+  Entry e;
+  e.tuple = tuple;
+  e.insert_stamp = insert_stamp;
+  b.entries.push_back(std::move(e));
+  NoteInsert(&b);
+  return true;
+}
+
+int OperatorState::RemoveContaining(Seq seq, JoinKey key, Stamp remove_stamp,
+                                    std::vector<Tuple>* removed) {
+  int count = 0;
+  auto scan_bucket = [&](Bucket& b) {
+    for (Entry& e : b.entries) {
+      if (e.live() && e.tuple.ContainsSeq(seq)) {
+        e.remove_stamp = remove_stamp;
+        NoteRemove(&b);
+        if (removed != nullptr) removed->push_back(e.tuple);
+        ++count;
+        dirty_keys_.push_back(e.tuple.key());
+      }
+    }
+  };
+  if (index_ == StateIndex::kHash) {
+    // Equi-join combinations share the key of every part, so combinations
+    // containing `seq` can only live in this key's bucket.
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) scan_bucket(it->second);
+  } else {
+    for (auto& [k, b] : buckets_) {
+      (void)k;
+      scan_bucket(b);
+    }
+  }
+  return count;
+}
+
+bool OperatorState::RemoveExact(const Tuple& tuple, Stamp remove_stamp) {
+  auto it = buckets_.find(tuple.key());
+  if (it == buckets_.end()) return false;
+  for (Entry& e : it->second.entries) {
+    if (e.live() && e.tuple == tuple) {
+      e.remove_stamp = remove_stamp;
+      NoteRemove(&it->second);
+      dirty_keys_.push_back(tuple.key());
+      return true;
+    }
+  }
+  return false;
+}
+
+void OperatorState::VacuumBucket(Bucket* bucket) {
+  auto& entries = bucket->entries;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [](const Entry& e) { return !e.live(); }),
+                entries.end());
+}
+
+void OperatorState::Vacuum() {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    VacuumBucket(&it->second);
+    if (it->second.entries.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirty_keys_.clear();
+}
+
+void OperatorState::VacuumDirty() {
+  for (JoinKey key : dirty_keys_) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) continue;
+    VacuumBucket(&it->second);
+    if (it->second.entries.empty()) buckets_.erase(it);
+  }
+  dirty_keys_.clear();
+}
+
+void OperatorState::Clear() {
+  buckets_.clear();
+  dirty_keys_.clear();
+  live_size_ = 0;
+  live_keys_ = 0;
+  completed_keys_.clear();
+}
+
+void OperatorState::CollectMatches(JoinKey key, Stamp p,
+                                   std::vector<Tuple>* out) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  for (const Entry& e : it->second.entries) {
+    if (e.VisibleAt(p)) out->push_back(e.tuple);
+  }
+}
+
+void OperatorState::CollectMatchPtrs(JoinKey key, Stamp p,
+                                     std::vector<const Tuple*>* out) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  for (const Entry& e : it->second.entries) {
+    if (e.VisibleAt(p)) out->push_back(&e.tuple);
+  }
+}
+
+void OperatorState::ForEachVisible(
+    Stamp p, const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& [k, b] : buckets_) {
+    (void)k;
+    for (const Entry& e : b.entries) {
+      if (e.VisibleAt(p)) fn(e.tuple);
+    }
+  }
+}
+
+void OperatorState::ForEachLive(
+    const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& [k, b] : buckets_) {
+    (void)k;
+    for (const Entry& e : b.entries) {
+      if (e.live()) fn(e.tuple);
+    }
+  }
+}
+
+void OperatorState::ForEachLiveEntry(
+    const std::function<void(const Tuple&, Stamp)>& fn) const {
+  for (const auto& [k, b] : buckets_) {
+    (void)k;
+    for (const Entry& e : b.entries) {
+      if (e.live()) fn(e.tuple, e.insert_stamp);
+    }
+  }
+}
+
+bool OperatorState::ContainsKeyLive(JoinKey key) const {
+  auto it = buckets_.find(key);
+  return it != buckets_.end() && it->second.live > 0;
+}
+
+void OperatorState::CollectLiveByKey(JoinKey key,
+                                     std::vector<Tuple>* out) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  for (const Entry& e : it->second.entries) {
+    if (e.live()) out->push_back(e.tuple);
+  }
+}
+
+bool OperatorState::ContainsExactLive(const Tuple& tuple) const {
+  auto it = buckets_.find(tuple.key());
+  if (it == buckets_.end()) return false;
+  for (const Entry& e : it->second.entries) {
+    if (e.live() && e.tuple == tuple) return true;
+  }
+  return false;
+}
+
+std::vector<JoinKey> OperatorState::LiveKeys() const {
+  std::vector<JoinKey> keys;
+  keys.reserve(live_keys_);
+  for (const auto& [k, b] : buckets_) {
+    if (b.live > 0) keys.push_back(k);
+  }
+  return keys;
+}
+
+void OperatorState::MarkComplete() {
+  complete_ = true;
+  completed_keys_.clear();
+}
+
+void OperatorState::MarkIncomplete() { complete_ = false; }
+
+bool OperatorState::IsKeyCompleted(JoinKey key) const {
+  return completed_keys_.find(key) != completed_keys_.end();
+}
+
+void OperatorState::MarkKeyCompleted(JoinKey key) {
+  completed_keys_.insert(key);
+}
+
+std::string OperatorState::DebugString() const {
+  std::ostringstream os;
+  os << "State " << id_.ToString() << (complete_ ? " [complete]" : " [INCOMPLETE]")
+     << " live=" << live_size_ << " keys=" << live_keys_;
+  return os.str();
+}
+
+}  // namespace jisc

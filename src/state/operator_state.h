@@ -1,0 +1,172 @@
+#ifndef JISC_STATE_OPERATOR_STATE_H_
+#define JISC_STATE_OPERATOR_STATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// How a state is organized.
+enum class StateIndex {
+  kHash,  // hash multimap on the equi-join attribute (symmetric hash join)
+  kList,  // unindexed list, probed by linear scan (nested-loops theta join)
+};
+
+// The materialized output of one plan operator: every live join combination
+// (or, for a scan, every live window tuple) of its subtree.
+//
+// Identity: the StreamSet of the subtree (the paper's "State RS" etc.).
+//
+// Visibility model: each entry carries the global event stamp at which it was
+// inserted and (once removed) the stamp at which it was removed. A join probe
+// issued by a tuple born at stamp p sees exactly the entries with
+// insert < p < remove. This yields exactly-once pair generation in a
+// symmetric pipeline (the later tuple of a pair produces it) and makes the
+// output independent of intra-event scheduling. Removed entries are
+// physically erased by Vacuum(), which the engine calls between events.
+//
+// Completeness (Definition 1) is a property of the state tracked here as a
+// flag plus the set of join-attribute values whose entries have been
+// completed on demand (Section 4); the decision logic lives in
+// core/completion_tracker.h.
+class OperatorState {
+ public:
+  OperatorState(StreamSet id, StateIndex index);
+
+  OperatorState(const OperatorState&) = delete;
+  OperatorState& operator=(const OperatorState&) = delete;
+
+  // Deep copy of the live content (tombstones are not carried). Used by the
+  // hybrid migration strategy, where old and new plan each need their own
+  // copy of a shared state.
+  std::unique_ptr<OperatorState> Clone() const;
+
+  StreamSet id() const { return id_; }
+  StateIndex index() const { return index_; }
+
+  // --- mutation ---
+
+  // Inserts a combination. When `dedup` is true the insert is skipped if an
+  // identical live combination already exists (required during JISC state
+  // completion, where the cross product may regenerate combinations that
+  // already flowed in after the transition). Returns true if inserted.
+  bool Insert(const Tuple& tuple, Stamp insert_stamp, bool dedup = false);
+
+  // Tombstones every live combination containing base-tuple `seq` with key
+  // `key` (expiry propagation). For hash states the search is confined to
+  // the key's bucket; list states are scanned fully. Removed combinations
+  // are appended to *removed (may be null). Returns the count.
+  int RemoveContaining(Seq seq, JoinKey key, Stamp remove_stamp,
+                       std::vector<Tuple>* removed);
+
+  // Tombstones one specific live combination (set-difference suppression).
+  // Returns true if found.
+  bool RemoveExact(const Tuple& tuple, Stamp remove_stamp);
+
+  // Physically erases tombstoned entries. Safe only between events (no
+  // in-flight message may still probe at a stamp below a tombstone).
+  void Vacuum();
+
+  // Erases tombstones only from the buckets touched since the last vacuum;
+  // O(size of touched buckets). The executor calls this after each drain.
+  void VacuumDirty();
+
+  bool HasTombstones() const { return !dirty_keys_.empty(); }
+
+  // Drops everything (state discard at transition).
+  void Clear();
+
+  // --- probes ---
+
+  // Appends the entries visible to a probe at stamp p with the given key.
+  // Meaningful for kHash states.
+  void CollectMatches(JoinKey key, Stamp p, std::vector<Tuple>* out) const;
+
+  // Pointer flavor for the probe hot path (no combination copies). The
+  // pointers are valid until the next mutation of this state; callers must
+  // consume them before inserting into or removing from it.
+  void CollectMatchPtrs(JoinKey key, Stamp p,
+                        std::vector<const Tuple*>* out) const;
+
+  // Visits every entry visible at stamp p (nested-loops probe, state
+  // completion cross products).
+  void ForEachVisible(Stamp p, const std::function<void(const Tuple&)>& fn) const;
+
+  // Visits every live (not yet removed) entry regardless of stamp
+  // (set-difference membership, Moving State eager computation, snapshots).
+  void ForEachLive(const std::function<void(const Tuple&)>& fn) const;
+
+  // Live entries with their insertion stamps (checkpointing).
+  void ForEachLiveEntry(
+      const std::function<void(const Tuple&, Stamp)>& fn) const;
+
+  // Any live entry with this key? (set-difference membership test).
+  bool ContainsKeyLive(JoinKey key) const;
+
+  // Live entries with this key.
+  void CollectLiveByKey(JoinKey key, std::vector<Tuple>* out) const;
+
+  // An identical live combination exists?
+  bool ContainsExactLive(const Tuple& tuple) const;
+
+  // --- statistics ---
+  size_t live_size() const { return live_size_; }
+  // Number of distinct keys with at least one live entry (the paper's
+  // "number of distinct values of the join attribute inside the state",
+  // used to initialize completion counters).
+  size_t DistinctLiveKeys() const { return live_keys_; }
+  std::vector<JoinKey> LiveKeys() const;
+
+  // --- completeness bookkeeping (Definition 1 / Section 4.3) ---
+  bool complete() const { return complete_; }
+  void MarkComplete();
+  void MarkIncomplete();
+  bool IsKeyCompleted(JoinKey key) const;
+  void MarkKeyCompleted(JoinKey key);
+  size_t NumCompletedKeys() const { return completed_keys_.size(); }
+
+  std::string DebugString() const;
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    Stamp insert_stamp;
+    Stamp remove_stamp = kStampInfinity;
+
+    bool live() const { return remove_stamp == kStampInfinity; }
+    bool VisibleAt(Stamp p) const {
+      return insert_stamp < p && p < remove_stamp;
+    }
+  };
+
+  struct Bucket {
+    std::vector<Entry> entries;
+    size_t live = 0;
+  };
+
+  void NoteInsert(Bucket* b);
+  void NoteRemove(Bucket* b);
+
+  void VacuumBucket(Bucket* bucket);
+
+  StreamSet id_;
+  StateIndex index_;
+  std::unordered_map<JoinKey, Bucket, I64Hash> buckets_;
+  std::vector<JoinKey> dirty_keys_;
+  size_t live_size_ = 0;
+  size_t live_keys_ = 0;
+  bool complete_ = true;
+  std::unordered_set<JoinKey, I64Hash> completed_keys_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_STATE_OPERATOR_STATE_H_

@@ -1,0 +1,85 @@
+#include "stream/synthetic_source.h"
+
+#include "common/logging.h"
+
+namespace jisc {
+
+SyntheticSource::SyntheticSource(const SourceConfig& config)
+    : config_(config), rng_(config.seed) {
+  JISC_CHECK(config_.num_streams >= 1);
+  JISC_CHECK(config_.num_streams <= kMaxStreams);
+  JISC_CHECK(config_.key_domain >= 1);
+  for (uint64_t d : config_.per_stream_key_domain) JISC_CHECK(d >= 1);
+  if (config_.zipf_s > 0) {
+    zipf_ = std::make_unique<ZipfDistribution>(config_.key_domain,
+                                               config_.zipf_s);
+  }
+}
+
+BaseTuple SyntheticSource::Next() {
+  BaseTuple t;
+  if (forced_stream_.has_value()) {
+    t.stream = *forced_stream_;
+  } else if (config_.interleave == Interleave::kRoundRobin) {
+    t.stream = static_cast<StreamId>(round_robin_pos_);
+    round_robin_pos_ = (round_robin_pos_ + 1) % config_.num_streams;
+  } else {
+    t.stream = static_cast<StreamId>(
+        rng_.UniformU64(static_cast<uint64_t>(config_.num_streams)));
+  }
+  if (config_.key_pattern == KeyPattern::kSequential ||
+      config_.key_pattern == KeyPattern::kBottomFanout) {
+    uint64_t round = next_seq_ / static_cast<uint64_t>(config_.num_streams);
+    uint64_t key = round % config_.key_domain;
+    if (config_.key_pattern == KeyPattern::kBottomFanout) {
+      for (StreamId dense : config_.fanout_streams) {
+        if (t.stream == dense) {
+          key -= key % config_.fanout;
+          break;
+        }
+      }
+    }
+    t.key = static_cast<JoinKey>(key);
+  } else if (zipf_ != nullptr) {
+    t.key = static_cast<JoinKey>(zipf_->Sample(&rng_));
+  } else {
+    uint64_t domain = config_.key_domain;
+    if (t.stream < config_.per_stream_key_domain.size()) {
+      domain = config_.per_stream_key_domain[t.stream];
+    }
+    t.key = static_cast<JoinKey>(rng_.UniformU64(domain));
+  }
+  t.payload = static_cast<int64_t>(rng_.Next() & 0xffffff);
+  t.seq = next_seq_++;
+  t.ts = t.seq * config_.ts_stride;
+  return t;
+}
+
+std::vector<BaseTuple> SyntheticSource::NextBatch(size_t n) {
+  std::vector<BaseTuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+void SyntheticSource::SetKeyDomain(uint64_t domain) {
+  JISC_CHECK(domain >= 1);
+  config_.key_domain = domain;
+  if (config_.zipf_s > 0) {
+    zipf_ = std::make_unique<ZipfDistribution>(domain, config_.zipf_s);
+  }
+}
+
+void SyntheticSource::SetPerStreamKeyDomains(std::vector<uint64_t> domains) {
+  for (uint64_t d : domains) JISC_CHECK(d >= 1);
+  config_.per_stream_key_domain = std::move(domains);
+}
+
+void SyntheticSource::ForceStream(std::optional<StreamId> stream) {
+  if (stream.has_value()) {
+    JISC_CHECK(*stream < config_.num_streams);
+  }
+  forced_stream_ = stream;
+}
+
+}  // namespace jisc

@@ -1,0 +1,104 @@
+#ifndef JISC_STREAM_SYNTHETIC_SOURCE_H_
+#define JISC_STREAM_SYNTHETIC_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// How arrivals are interleaved across streams.
+enum class Interleave {
+  kRoundRobin,      // S0, S1, ..., Sn-1, S0, ... (paper: data "uniformly
+                    // distributed across the different streams")
+  kUniformRandom,   // each arrival picks a stream uniformly at random
+};
+
+// How join keys are assigned.
+enum class KeyPattern {
+  kRandom,      // uniform (or Zipf-skewed) draw from [0, key_domain)
+  kSequential,  // key = (seq / num_streams) % key_domain: every key occurs
+                // once per key_domain rounds on every stream, giving exactly
+                // one match per window probe when key_domain == window --
+                // a deterministic unit-selectivity regime (deep plans
+                // neither die out nor explode)
+  kBottomFanout,  // like kSequential, but the streams in `fanout_streams`
+                  // repeat each key `fanout` times per window (their keys
+                  // are rounded down to multiples of fanout). The dense
+                  // pair fans out fanout^2 combinations per matching key
+                  // while other levels stay at unit selectivity: the regime
+                  // where materialized intermediate state pays off and
+                  // CACQ's recomputation does not
+};
+
+// Configuration of the synthetic workload generator used throughout the
+// experiments: uniform (or Zipf-skewed) join keys over a bounded domain,
+// uniformly interleaved across streams.
+struct SourceConfig {
+  int num_streams = 4;
+  // Join keys are drawn from [0, key_domain). With window w per stream, the
+  // expected number of matches per probe of a single stream's window is
+  // w / key_domain.
+  uint64_t key_domain = 1000;
+  // 0 => uniform keys; > 0 => Zipf(s) skew (kRandom only).
+  double zipf_s = 0;
+  KeyPattern key_pattern = KeyPattern::kRandom;
+  // Event-time units advanced per arrival (ts = seq * ts_stride). Only
+  // meaningful with time-based windows.
+  uint64_t ts_stride = 1;
+  // kBottomFanout: per-window key multiplicity of the dense streams.
+  uint64_t fanout = 3;
+  // kBottomFanout: which streams are dense. Figure benches place the pair
+  // symmetrically (first and last stream) so that a join-order reversal
+  // maps the plan onto an equal-cost plan.
+  std::vector<StreamId> fanout_streams = {0, 1};
+  // kRandom only: per-stream key domains (stream s draws from
+  // [0, per_stream_key_domain[s])). Empty => every stream uses key_domain.
+  // Smaller domains mean more duplicates per key: a high-fanout stream the
+  // optimizer should keep near the top of a left-deep plan.
+  std::vector<uint64_t> per_stream_key_domain;
+  Interleave interleave = Interleave::kRoundRobin;
+  uint64_t seed = 42;
+};
+
+// Deterministic generator of base tuples. Assigns globally increasing
+// sequence numbers; supports mid-run reconfiguration of the key domain
+// (used by the adaptive examples to shift selectivities).
+class SyntheticSource {
+ public:
+  explicit SyntheticSource(const SourceConfig& config);
+
+  BaseTuple Next();
+  std::vector<BaseTuple> NextBatch(size_t n);
+
+  // Changes the key domain from the next tuple on (selectivity shift).
+  void SetKeyDomain(uint64_t domain);
+
+  // Changes the per-stream key domains (kRandom pattern) from the next
+  // tuple on; sequence numbers keep increasing (a mid-run distribution
+  // shift, not a new source).
+  void SetPerStreamKeyDomains(std::vector<uint64_t> domains);
+
+  // Pins the next arrivals to a specific stream (for targeted tests);
+  // std::nullopt restores the configured interleave.
+  void ForceStream(std::optional<StreamId> stream);
+
+  uint64_t tuples_emitted() const { return next_seq_; }
+  const SourceConfig& config() const { return config_; }
+
+ private:
+  SourceConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfDistribution> zipf_;
+  Seq next_seq_ = 0;
+  int round_robin_pos_ = 0;
+  std::optional<StreamId> forced_stream_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_STREAM_SYNTHETIC_SOURCE_H_

@@ -1,0 +1,33 @@
+#include "stream/window.h"
+
+namespace jisc {
+
+WindowSpec WindowSpec::Uniform(int num_streams, uint64_t size) {
+  JISC_CHECK(num_streams >= 1);
+  JISC_CHECK(size >= 1);
+  WindowSpec w;
+  w.sizes_.assign(static_cast<size_t>(num_streams), size);
+  return w;
+}
+
+WindowSpec WindowSpec::PerStream(std::vector<uint64_t> sizes) {
+  JISC_CHECK(!sizes.empty());
+  for (uint64_t s : sizes) JISC_CHECK(s >= 1);
+  WindowSpec w;
+  w.sizes_ = std::move(sizes);
+  return w;
+}
+
+WindowSpec WindowSpec::UniformTime(int num_streams, uint64_t duration) {
+  WindowSpec w = Uniform(num_streams, duration);
+  w.mode_ = Mode::kTime;
+  return w;
+}
+
+WindowSpec WindowSpec::PerStreamTime(std::vector<uint64_t> durations) {
+  WindowSpec w = PerStream(std::move(durations));
+  w.mode_ = Mode::kTime;
+  return w;
+}
+
+}  // namespace jisc

@@ -1,0 +1,58 @@
+#ifndef JISC_STREAM_WINDOW_H_
+#define JISC_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Sliding windows, per stream. Two modes:
+//  * count-based (the paper's experiments: 10,000-tuple windows): a window
+//    of size W holds the stream's last W tuples; the (W+1)-th arrival
+//    expires the oldest;
+//  * time-based: a window of duration D holds the stream's tuples with
+//    event time in (t - D, t], where t is the stream's latest arrival time
+//    (windows advance on their own stream's arrivals; one arrival may
+//    expire several tuples).
+// Either way, an expiry propagates up the plan identically, so plan
+// migration — JISC included — is window-mode agnostic.
+class WindowSpec {
+ public:
+  enum class Mode { kCount, kTime };
+
+  WindowSpec() = default;
+
+  // Same count-based window size for all n streams.
+  static WindowSpec Uniform(int num_streams, uint64_t size);
+
+  // Per-stream count-based sizes.
+  static WindowSpec PerStream(std::vector<uint64_t> sizes);
+
+  // Same time-based window duration (event-time units) for all n streams.
+  static WindowSpec UniformTime(int num_streams, uint64_t duration);
+
+  // Per-stream time-based durations.
+  static WindowSpec PerStreamTime(std::vector<uint64_t> durations);
+
+  // Count size (kCount) or duration (kTime) of the stream's window.
+  uint64_t SizeFor(StreamId stream) const {
+    JISC_DCHECK(stream < sizes_.size());
+    return sizes_[stream];
+  }
+
+  Mode mode() const { return mode_; }
+  bool time_based() const { return mode_ == Mode::kTime; }
+
+  int num_streams() const { return static_cast<int>(sizes_.size()); }
+
+ private:
+  Mode mode_ = Mode::kCount;
+  std::vector<uint64_t> sizes_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_STREAM_WINDOW_H_

@@ -1,0 +1,40 @@
+#include "types/schema.h"
+
+#include <sstream>
+
+namespace jisc {
+
+Schema Schema::Synthetic(int num_streams) {
+  Schema s;
+  for (int i = 0; i < num_streams; ++i) {
+    s.AddStream("S" + std::to_string(i));
+  }
+  return s;
+}
+
+Status Schema::AddStream(std::string name) {
+  if (static_cast<int>(names_.size()) >= kMaxStreams) {
+    return Status::OutOfRange("a query supports at most 64 streams");
+  }
+  names_.push_back(std::move(name));
+  return Status::Ok();
+}
+
+std::string Schema::Render(StreamSet set) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (StreamId s : set.ToVector()) {
+    if (!first) os << ",";
+    if (s < names_.size()) {
+      os << names_[s];
+    } else {
+      os << "S" << s;
+    }
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace jisc

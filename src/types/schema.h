@@ -1,0 +1,41 @@
+#ifndef JISC_TYPES_SCHEMA_H_
+#define JISC_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+// Query-level description of the participating streams. Purely descriptive:
+// stream names for diagnostics plus the name of the shared join attribute.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Creates a schema with n streams named "S0".."S{n-1}".
+  static Schema Synthetic(int num_streams);
+
+  Status AddStream(std::string name);
+
+  int num_streams() const { return static_cast<int>(names_.size()); }
+  const std::string& stream_name(StreamId id) const { return names_[id]; }
+
+  void set_join_attribute(std::string name) {
+    join_attribute_ = std::move(name);
+  }
+  const std::string& join_attribute() const { return join_attribute_; }
+
+  // "{S0,S2}" rendered with stream names, e.g. "{R,T}".
+  std::string Render(StreamSet set) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::string join_attribute_ = "id";
+};
+
+}  // namespace jisc
+
+#endif  // JISC_TYPES_SCHEMA_H_

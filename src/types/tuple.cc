@@ -1,0 +1,113 @@
+#include "types/tuple.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace jisc {
+
+std::vector<StreamId> StreamSet::ToVector() const {
+  std::vector<StreamId> out;
+  uint64_t b = bits_;
+  while (b != 0) {
+    int s = __builtin_ctzll(b);
+    out.push_back(static_cast<StreamId>(s));
+    b &= b - 1;
+  }
+  return out;
+}
+
+std::string StreamSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (StreamId s : ToVector()) {
+    if (!first) os << ",";
+    os << "S" << s;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+Tuple Tuple::FromBase(const BaseTuple& base, Stamp birth, bool fresh) {
+  Tuple t;
+  t.parts_.push_back(base);
+  t.streams_ = StreamSet::Single(base.stream);
+  t.key_ = base.key;
+  t.birth_ = birth;
+  t.fresh_ = fresh;
+  return t;
+}
+
+Tuple Tuple::Concat(const Tuple& a, const Tuple& b, Stamp birth, bool fresh) {
+  JISC_DCHECK(!a.streams_.Intersects(b.streams_));
+  Tuple t;
+  t.parts_.reserve(a.parts_.size() + b.parts_.size());
+  // Merge the two part lists, both already sorted by stream id.
+  std::merge(a.parts_.begin(), a.parts_.end(), b.parts_.begin(),
+             b.parts_.end(), std::back_inserter(t.parts_),
+             [](const BaseTuple& x, const BaseTuple& y) {
+               return x.stream < y.stream;
+             });
+  t.streams_ = StreamSet::Union(a.streams_, b.streams_);
+  t.key_ = t.parts_.front().key;
+  t.birth_ = birth;
+  t.fresh_ = fresh;
+  return t;
+}
+
+Tuple Tuple::FromParts(std::vector<BaseTuple> parts, Stamp birth) {
+  JISC_CHECK(!parts.empty());
+  Tuple t;
+  t.parts_ = std::move(parts);
+  std::sort(t.parts_.begin(), t.parts_.end(),
+            [](const BaseTuple& a, const BaseTuple& b) {
+              return a.stream < b.stream;
+            });
+  StreamSet streams;
+  for (const BaseTuple& p : t.parts_) {
+    JISC_CHECK(!streams.Contains(p.stream));
+    streams = StreamSet::Union(streams, StreamSet::Single(p.stream));
+  }
+  t.streams_ = streams;
+  t.key_ = t.parts_.front().key;
+  t.birth_ = birth;
+  t.fresh_ = false;
+  return t;
+}
+
+bool Tuple::ContainsSeq(Seq seq) const {
+  for (const auto& p : parts_) {
+    if (p.seq == seq) return true;
+  }
+  return false;
+}
+
+uint64_t Tuple::IdentityHash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& p : parts_) h = HashCombine(h, p.seq);
+  return h;
+}
+
+bool operator==(const Tuple& a, const Tuple& b) {
+  if (a.parts_.size() != b.parts_.size()) return false;
+  for (size_t i = 0; i < a.parts_.size(); ++i) {
+    if (a.parts_[i].seq != b.parts_[i].seq) return false;
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& p : parts_) {
+    if (!first) os << " ";
+    os << "S" << p.stream << "#" << p.seq << "(k=" << p.key << ")";
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace jisc

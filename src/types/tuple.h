@@ -1,0 +1,150 @@
+#ifndef JISC_TYPES_TUPLE_H_
+#define JISC_TYPES_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace jisc {
+
+// Identifies one input stream. The engine supports up to kMaxStreams streams
+// per query (StreamSet is a 64-bit mask).
+using StreamId = uint16_t;
+inline constexpr int kMaxStreams = 64;
+
+// The equi-join attribute value (the paper's "ID").
+using JoinKey = int64_t;
+
+// Globally unique arrival sequence number of a base tuple. Doubles as the
+// tuple's identity for combination dedup and expiry.
+using Seq = uint64_t;
+
+// Global event stamp. Every external event (arrival, transition) gets one;
+// all messages of that event's cascade carry it. State visibility is defined
+// in terms of stamps, which makes the output independent of queue scheduling.
+using Stamp = uint64_t;
+inline constexpr Stamp kStampInfinity = ~0ULL;
+
+// One tuple as produced by a source stream.
+struct BaseTuple {
+  StreamId stream = 0;
+  JoinKey key = 0;
+  int64_t payload = 0;
+  Seq seq = 0;
+  // Event time, used by time-based sliding windows (count-based windows
+  // ignore it). Sources assign non-decreasing values.
+  uint64_t ts = 0;
+
+  friend bool operator==(const BaseTuple& a, const BaseTuple& b) {
+    return a.seq == b.seq;
+  }
+};
+
+// An immutable set of streams, the identity of an operator state ("RS",
+// "RST", ...). Backed by a 64-bit mask.
+class StreamSet {
+ public:
+  constexpr StreamSet() : bits_(0) {}
+  constexpr explicit StreamSet(uint64_t bits) : bits_(bits) {}
+
+  static StreamSet Single(StreamId s) {
+    JISC_DCHECK(s < kMaxStreams);
+    return StreamSet(1ULL << s);
+  }
+
+  static StreamSet Union(StreamSet a, StreamSet b) {
+    return StreamSet(a.bits_ | b.bits_);
+  }
+
+  bool Contains(StreamId s) const { return (bits_ >> s) & 1ULL; }
+  bool ContainsAll(StreamSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  bool Intersects(StreamSet other) const { return (bits_ & other.bits_) != 0; }
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcountll(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  // Streams in ascending id order.
+  std::vector<StreamId> ToVector() const;
+
+  // e.g. "{S0,S2,S5}".
+  std::string ToString() const;
+
+  friend bool operator==(StreamSet a, StreamSet b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator<(StreamSet a, StreamSet b) { return a.bits_ < b.bits_; }
+
+ private:
+  uint64_t bits_;
+};
+
+struct StreamSetHash {
+  size_t operator()(StreamSet s) const {
+    return static_cast<size_t>(MixU64(s.bits()));
+  }
+};
+
+// A tuple flowing through the pipeline: either a single base tuple or a join
+// combination of several. Parts are kept sorted by stream id so that two
+// combinations with the same base tuples compare equal regardless of the
+// join order that produced them.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  static Tuple FromBase(const BaseTuple& base, Stamp birth, bool fresh);
+
+  // Joins two combinations over disjoint stream sets.
+  // Freshness of the result: a combination is fresh iff the tuple that
+  // drove its creation was fresh (callers pass it explicitly).
+  static Tuple Concat(const Tuple& a, const Tuple& b, Stamp birth, bool fresh);
+
+  // Rebuilds a combination from its base parts (checkpoint restore). Parts
+  // must come from distinct streams; they are sorted internally.
+  static Tuple FromParts(std::vector<BaseTuple> parts, Stamp birth);
+
+  const std::vector<BaseTuple>& parts() const { return parts_; }
+  StreamSet streams() const { return streams_; }
+  // The shared equi-join attribute value. For equi-join plans every part
+  // carries the same key; for theta plans this is the key of the first part
+  // (unused by the nested-loops path).
+  JoinKey key() const { return key_; }
+  Stamp birth() const { return birth_; }
+  bool fresh() const { return fresh_; }
+  void set_fresh(bool fresh) { fresh_ = fresh; }
+  void set_birth(Stamp birth) { birth_ = birth; }
+
+  bool ContainsSeq(Seq seq) const;
+
+  // Identity of the combination: hash over the ordered part sequence
+  // numbers. Used for duplicate elimination (Parallel Track sink, JISC
+  // completion dedup, reference comparison).
+  uint64_t IdentityHash() const;
+
+  // Total order / equality on identity (part seqs in stream order).
+  friend bool operator==(const Tuple& a, const Tuple& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<BaseTuple> parts_;
+  StreamSet streams_;
+  JoinKey key_ = 0;
+  Stamp birth_ = 0;
+  bool fresh_ = true;
+};
+
+struct TupleIdentityHash {
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(t.IdentityHash());
+  }
+};
+
+}  // namespace jisc
+
+#endif  // JISC_TYPES_TUPLE_H_

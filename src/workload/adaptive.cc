@@ -1,0 +1,119 @@
+#include "workload/adaptive.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+AdaptiveController::AdaptiveController(Engine* engine, Options options)
+    : engine_(engine), options_(options) {
+  JISC_CHECK(engine_ != nullptr);
+  JISC_CHECK(options_.evaluate_period >= 1);
+  if (options_.use_sketches) {
+    int n = engine_->windows().num_streams();
+    for (int i = 0; i < n; ++i) key_sketches_.emplace_back(12);
+    epoch_arrivals_.assign(static_cast<size_t>(n), 0);
+    sketched_fanout_.assign(static_cast<size_t>(n), 1.0);
+  }
+}
+
+AdaptiveController::AdaptiveController(Engine* engine)
+    : AdaptiveController(engine, Options()) {}
+
+double AdaptiveController::fanout(StreamId s) const {
+  if (options_.use_sketches) return sketched_fanout_[s];
+  StreamScan* scan = engine_->executor().scan(s);
+  JISC_CHECK(scan != nullptr);
+  const OperatorState& st = scan->state();
+  if (st.DistinctLiveKeys() == 0) return 1.0;
+  return static_cast<double>(st.live_size()) /
+         static_cast<double>(st.DistinctLiveKeys());
+}
+
+std::vector<StreamId> AdaptiveController::AdvisedOrder() const {
+  std::vector<StreamId> order = engine_->plan().streams().ToVector();
+  // Ascending fan-out, ties broken by stream id for determinism.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](StreamId a, StreamId b) {
+                     double fa = fanout(a);
+                     double fb = fanout(b);
+                     if (fa != fb) return fa < fb;
+                     return a < b;
+                   });
+  return order;
+}
+
+double AdaptiveController::EstimateCost(
+    const std::vector<StreamId>& order) const {
+  double cost = 0;
+  double volume = 1;
+  for (StreamId s : order) {
+    volume *= fanout(s);
+    cost += volume;
+  }
+  return cost;
+}
+
+void AdaptiveController::MaybeMigrate() {
+  const LogicalPlan& plan = engine_->plan();
+  if (!plan.IsLeftDeep()) return;  // the advisor reorders left-deep chains
+  // Only judge once every stream has a representative sample.
+  for (StreamId s : plan.streams().ToVector()) {
+    StreamScan* scan = engine_->executor().scan(s);
+    if (scan == nullptr ||
+        scan->state().live_size() < options_.min_window_fill) {
+      return;
+    }
+  }
+  auto current = plan.LeftDeepOrder();
+  if (!current.ok()) return;
+  std::vector<StreamId> advised = AdvisedOrder();
+  if (advised == current.value()) return;
+  double cost_now = EstimateCost(current.value());
+  double cost_advised = EstimateCost(advised);
+  if (cost_advised >= cost_now * (1.0 - options_.min_improvement)) return;
+  // Preserve the join kinds of the running plan's levels.
+  std::vector<OpKind> kinds;
+  {
+    int cur = plan.root();
+    while (!plan.IsLeaf(cur)) {
+      kinds.push_back(plan.node(cur).kind);
+      cur = plan.node(cur).left;
+    }
+    std::reverse(kinds.begin(), kinds.end());
+  }
+  LogicalPlan next = LogicalPlan::LeftDeepMixed(advised, kinds);
+  Status s = engine_->RequestTransition(next);
+  if (s.ok()) {
+    ++transitions_;
+  } else {
+    JISC_LOG(Warning) << "adaptive transition rejected: " << s.ToString();
+  }
+}
+
+void AdaptiveController::Push(const BaseTuple& tuple) {
+  if (options_.use_sketches && tuple.stream < key_sketches_.size()) {
+    key_sketches_[tuple.stream].Add(static_cast<uint64_t>(tuple.key));
+    ++epoch_arrivals_[tuple.stream];
+  }
+  engine_->Push(tuple);
+  if (++since_evaluation_ >= options_.evaluate_period) {
+    since_evaluation_ = 0;
+    if (options_.use_sketches) {
+      // Close the epoch: fan-out ~ arrivals per distinct key observed.
+      for (size_t s = 0; s < key_sketches_.size(); ++s) {
+        double distinct = key_sketches_[s].Estimate();
+        if (epoch_arrivals_[s] >= options_.min_window_fill && distinct >= 1) {
+          sketched_fanout_[s] =
+              static_cast<double>(epoch_arrivals_[s]) / distinct;
+        }
+        key_sketches_[s].Clear();
+        epoch_arrivals_[s] = 0;
+      }
+    }
+    MaybeMigrate();
+  }
+}
+
+}  // namespace jisc

@@ -1,0 +1,109 @@
+#include "workload/factory.h"
+
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "eddy/cacq.h"
+#include "eddy/mjoin.h"
+#include "eddy/stairs.h"
+#include "migration/hybrid_track.h"
+#include "migration/moving_state.h"
+#include "migration/parallel_track.h"
+
+namespace jisc {
+
+const char* ProcessorKindName(ProcessorKind kind) {
+  switch (kind) {
+    case ProcessorKind::kJisc:
+      return "jisc";
+    case ProcessorKind::kJiscFirstReceipt:
+      return "jisc-first-receipt";
+    case ProcessorKind::kMovingState:
+      return "moving-state";
+    case ProcessorKind::kParallelTrack:
+      return "parallel-track";
+    case ProcessorKind::kHybridTrack:
+      return "hybrid-track";
+    case ProcessorKind::kCacq:
+      return "cacq";
+    case ProcessorKind::kMJoin:
+      return "mjoin";
+    case ProcessorKind::kStairsEager:
+      return "stairs-eager";
+    case ProcessorKind::kStairsJisc:
+      return "stairs-jisc";
+    case ProcessorKind::kStaticPipeline:
+      return "pipeline-shj";
+  }
+  return "?";
+}
+
+std::vector<ProcessorKind> PipelineStrategyKinds() {
+  return {ProcessorKind::kJisc, ProcessorKind::kCacq,
+          ProcessorKind::kParallelTrack, ProcessorKind::kMovingState};
+}
+
+BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
+                             const WindowSpec& windows, ThetaSpec theta) {
+  BuiltProcessor built;
+  built.sink = std::make_unique<CountingSink>();
+  Engine::Options eopts;
+  eopts.exec.theta = theta;
+  switch (kind) {
+    case ProcessorKind::kJisc:
+      built.processor = std::make_unique<Engine>(
+          plan, windows, built.sink.get(), MakeJiscStrategy(), eopts);
+      break;
+    case ProcessorKind::kJiscFirstReceipt: {
+      JiscOptions j;
+      j.completion_mode = JiscOptions::CompletionMode::kOnFirstReceipt;
+      built.processor = std::make_unique<Engine>(
+          plan, windows, built.sink.get(), MakeJiscStrategy(j), eopts);
+      break;
+    }
+    case ProcessorKind::kMovingState:
+      built.processor = std::make_unique<Engine>(
+          plan, windows, built.sink.get(), MakeMovingStateStrategy(), eopts);
+      break;
+    case ProcessorKind::kStaticPipeline: {
+      eopts.track_freshness = false;
+      built.processor = std::make_unique<Engine>(
+          plan, windows, built.sink.get(), MakeMovingStateStrategy(), eopts);
+      break;
+    }
+    case ProcessorKind::kParallelTrack: {
+      ParallelTrackProcessor::Options popts;
+      popts.exec.theta = theta;
+      built.processor = std::make_unique<ParallelTrackProcessor>(
+          plan, windows, built.sink.get(), popts);
+      break;
+    }
+    case ProcessorKind::kHybridTrack: {
+      HybridTrackProcessor::Options hopts;
+      hopts.exec.theta = theta;
+      built.processor = std::make_unique<HybridTrackProcessor>(
+          plan, windows, built.sink.get(), hopts);
+      break;
+    }
+    case ProcessorKind::kCacq:
+      built.processor = std::make_unique<CacqExecutor>(plan, windows,
+                                                       built.sink.get());
+      break;
+    case ProcessorKind::kMJoin:
+      built.processor = std::make_unique<MJoinExecutor>(plan, windows,
+                                                        built.sink.get());
+      break;
+    case ProcessorKind::kStairsEager:
+      built.processor = std::make_unique<StairsExecutor>(
+          plan, windows, built.sink.get(),
+          StairsExecutor::MigrationPolicy::kEager);
+      break;
+    case ProcessorKind::kStairsJisc:
+      built.processor = std::make_unique<StairsExecutor>(
+          plan, windows, built.sink.get(),
+          StairsExecutor::MigrationPolicy::kLazyJisc);
+      break;
+  }
+  return built;
+}
+
+}  // namespace jisc

@@ -1,0 +1,49 @@
+#ifndef JISC_WORKLOAD_FACTORY_H_
+#define JISC_WORKLOAD_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/sink.h"
+#include "exec/stream_processor.h"
+#include "exec/theta.h"
+#include "plan/logical_plan.h"
+#include "stream/window.h"
+
+namespace jisc {
+
+// The query processors compared in the paper's evaluation (Section 6).
+enum class ProcessorKind {
+  kJisc,            // the paper's contribution (on-probe completion)
+  kJiscFirstReceipt,  // Section 4.4 reading: complete per value on receipt
+  kMovingState,     // halt + eager state computation [4]
+  kParallelTrack,   // old and new plans side by side [4]
+  kHybridTrack,     // Parallel Track + Moving-State state matching [5, 6]
+  kCacq,            // eddy + SteMs, no intermediate state [3]
+  kMJoin,           // n-ary symmetric join, no intermediate state [11, 1]
+  kStairsEager,     // STAIRs with eager Promote/Demote [19]
+  kStairsJisc,      // JISC applied to STAIRs (Section 4.6)
+  kStaticPipeline,  // plain symmetric-hash-join pipeline (Fig. 9a baseline);
+                    // rejects no transitions but tracks no freshness
+};
+
+const char* ProcessorKindName(ProcessorKind kind);
+
+// All pipelined-strategy kinds (for benches comparing the paper's main
+// three: JISC / CACQ / Parallel Track, plus Moving State for latency).
+std::vector<ProcessorKind> PipelineStrategyKinds();
+
+// A processor wired to a counting sink.
+struct BuiltProcessor {
+  std::unique_ptr<StreamProcessor> processor;
+  std::unique_ptr<CountingSink> sink;
+};
+
+BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
+                             const WindowSpec& windows,
+                             ThetaSpec theta = ThetaSpec());
+
+}  // namespace jisc
+
+#endif  // JISC_WORKLOAD_FACTORY_H_

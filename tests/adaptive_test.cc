@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/jisc_runtime.h"
+#include "reference/naive_reference.h"
+#include "tests/test_util.h"
+#include "workload/adaptive.h"
+
+namespace jisc {
+namespace {
+
+using testutil::IdentityMultiset;
+
+SourceConfig SkewedConfig() {
+  SourceConfig cfg;
+  cfg.num_streams = 4;
+  cfg.key_domain = 512;
+  // Stream 0 dense (high fan-out), stream 3 sparse.
+  cfg.per_stream_key_domain = {16, 64, 256, 512};
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(AdaptiveControllerTest, ConvergesToAscendingFanout) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 128);
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 256;
+  AdaptiveController ctl(&engine, opts);
+  SyntheticSource src(SkewedConfig());
+  for (int i = 0; i < 4000; ++i) ctl.Push(src.Next());
+  auto order = engine.plan().LeftDeepOrder();
+  ASSERT_TRUE(order.ok());
+  // Sparse streams migrate to the bottom; the dense stream 0 to the top.
+  EXPECT_EQ(order.value().back(), 0);
+  EXPECT_GE(ctl.transitions(), 1u);
+  // Fan-out estimates reflect the domains.
+  EXPECT_GT(ctl.fanout(0), ctl.fanout(3));
+}
+
+TEST(AdaptiveControllerTest, SketchModeConvergesLikeExact) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 128);
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 512;
+  opts.use_sketches = true;
+  AdaptiveController ctl(&engine, opts);
+  SyntheticSource src(SkewedConfig());
+  for (int i = 0; i < 6000; ++i) ctl.Push(src.Next());
+  auto order = engine.plan().LeftDeepOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value().back(), 0);  // densest stream on top
+  EXPECT_GE(ctl.transitions(), 1u);
+  EXPECT_GT(ctl.fanout(0), ctl.fanout(3));
+}
+
+TEST(AdaptiveControllerTest, NoThrashingOnUniformStreams) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 64);
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 128;
+  AdaptiveController ctl(&engine, opts);
+  SourceConfig cfg;
+  cfg.num_streams = 4;
+  cfg.key_domain = 128;  // identical statistics on every stream
+  SyntheticSource src(cfg);
+  for (int i = 0; i < 4000; ++i) ctl.Push(src.Next());
+  // Statistical noise must not trigger migrations (hysteresis).
+  EXPECT_LE(ctl.transitions(), 1u);
+}
+
+TEST(AdaptiveControllerTest, OutputStaysCorrectUnderAutoMigrations) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(3, 16);
+  CollectingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 64;
+  opts.min_window_fill = 4;
+  AdaptiveController ctl(&engine, opts);
+  SourceConfig cfg;
+  cfg.num_streams = 3;
+  cfg.key_domain = 64;
+  cfg.per_stream_key_domain = {4, 16, 64};
+  cfg.seed = 21;
+  SyntheticSource src(cfg);
+  NaiveJoinReference ref(3, windows);
+  std::vector<Tuple> ref_out;
+  std::vector<Tuple> ref_ret;
+  for (int i = 0; i < 3000; ++i) {
+    BaseTuple t = src.Next();
+    ctl.Push(t);
+    ref.Push(t, &ref_out, &ref_ret);
+  }
+  EXPECT_GE(ctl.transitions(), 1u);
+  EXPECT_EQ(IdentityMultiset(sink.outputs()), IdentityMultiset(ref_out));
+  EXPECT_EQ(IdentityMultiset(sink.retractions()),
+            IdentityMultiset(ref_ret));
+}
+
+TEST(AdaptiveControllerTest, CostModelPrefersAscendingOrder) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 128);
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController ctl(&engine);
+  SyntheticSource src(SkewedConfig());
+  // Feed without evaluations (direct engine pushes) to control the state.
+  for (int i = 0; i < 2000; ++i) engine.Push(src.Next());
+  double asc = ctl.EstimateCost({3, 2, 1, 0});
+  double desc = ctl.EstimateCost({0, 1, 2, 3});
+  EXPECT_LT(asc, desc);
+  EXPECT_EQ(ctl.AdvisedOrder(), (std::vector<StreamId>{3, 2, 1, 0}));
+}
+
+TEST(AdaptiveControllerTest, LeavesBushyPlansAlone) {
+  LogicalPlan plan = LogicalPlan::BalancedBushy({0, 1, 2, 3},
+                                                OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 64);
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 64;
+  AdaptiveController ctl(&engine, opts);
+  SyntheticSource src(SkewedConfig());
+  for (int i = 0; i < 2000; ++i) ctl.Push(src.Next());
+  EXPECT_EQ(ctl.transitions(), 0u);
+  EXPECT_FALSE(engine.plan().IsLeftDeep());
+}
+
+TEST(AdaptiveControllerTest, PreservesJoinKindsAcrossMigration) {
+  LogicalPlan plan = LogicalPlan::LeftDeepMixed(
+      {0, 1, 2}, {OpKind::kHashJoin, OpKind::kNljJoin});
+  WindowSpec windows = WindowSpec::Uniform(3, 64);
+  CountingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  AdaptiveController::Options opts;
+  opts.evaluate_period = 128;
+  AdaptiveController ctl(&engine, opts);
+  SourceConfig cfg;
+  cfg.num_streams = 3;
+  cfg.key_domain = 256;
+  cfg.per_stream_key_domain = {8, 64, 256};
+  SyntheticSource src(cfg);
+  for (int i = 0; i < 3000; ++i) ctl.Push(src.Next());
+  ASSERT_GE(ctl.transitions(), 1u);
+  // The level kinds survive the reorder (bottom hash, top NLJ).
+  const LogicalPlan& p = engine.plan();
+  EXPECT_EQ(p.node(p.root()).kind, OpKind::kNljJoin);
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,109 @@
+// Validates the Section 5 probabilistic model (Propositions 1-3) against
+// exact enumeration and Monte-Carlo simulation, and cross-checks it against
+// the engine's actual state classification.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/complete_states_model.h"
+#include "plan/transitions.h"
+
+namespace jisc {
+namespace {
+
+TEST(HarmonicTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 25.0 / 12.0, 1e-12);
+  // H_n ~ ln n + gamma.
+  EXPECT_NEAR(HarmonicNumber(100000), std::log(100000) + 0.5772156649,
+              1e-5);
+}
+
+// Exact enumeration of the triangular distribution must reproduce the
+// closed forms of Proposition 1.
+TEST(Proposition1Test, MatchesExactEnumeration) {
+  for (int n : {2, 3, 5, 10, 40, 100}) {
+    double alpha = AlphaN(n);
+    double mean = 0;
+    double second = 0;
+    double total_prob = 0;
+    for (int i = 1; i < n; ++i) {
+      for (int j = i + 1; j <= n; ++j) {
+        double p = alpha / (j - i);
+        total_prob += p;
+        double c = n - (j - i);
+        mean += c * p;
+        second += c * c * p;
+      }
+    }
+    EXPECT_NEAR(total_prob, 1.0, 1e-9) << "n=" << n;
+    EXPECT_NEAR(ExpectedCompleteStates(n), mean, 1e-6) << "n=" << n;
+    EXPECT_NEAR(VarianceCompleteStates(n), second - mean * mean,
+                1e-6 * n * n)
+        << "n=" << n;
+  }
+}
+
+TEST(Proposition2Test, AsymptoticsConverge) {
+  // The relative error of the asymptotic forms shrinks as n grows.
+  double prev_mean_err = 1e9;
+  for (int n : {64, 1024, 65536}) {
+    double exact = ExpectedCompleteStates(n);
+    double asym = ExpectedCompleteStatesAsymptotic(n);
+    double err = std::fabs(exact - asym) / n;
+    EXPECT_LT(err, prev_mean_err + 1e-12);
+    prev_mean_err = err;
+  }
+  // Var[C_n] / (n^2 / (6 ln n)) -> 1.
+  double ratio = VarianceCompleteStates(65536) /
+                 VarianceCompleteStatesAsymptotic(65536);
+  EXPECT_NEAR(ratio, 1.0, 0.25);
+}
+
+TEST(MonteCarloTest, AgreesWithClosedForms) {
+  Rng rng(4242);
+  for (int n : {5, 20, 100}) {
+    MonteCarloResult mc = SimulateCompleteStates(n, 200000, 0.5, &rng);
+    EXPECT_NEAR(mc.mean, ExpectedCompleteStates(n),
+                0.02 * ExpectedCompleteStates(n))
+        << "n=" << n;
+    EXPECT_NEAR(mc.variance, VarianceCompleteStates(n),
+                0.05 * VarianceCompleteStates(n) + 0.5)
+        << "n=" << n;
+  }
+}
+
+// Proposition 3 (concentration): Prob(C_n/n < 1 - eps) -> 0 as n grows.
+TEST(Proposition3Test, ConcentrationTailVanishes) {
+  Rng rng(77);
+  double eps = 0.5;
+  double prev = 1.0;
+  for (int n : {8, 64, 512, 4096}) {
+    MonteCarloResult mc = SimulateCompleteStates(n, 100000, eps, &rng);
+    EXPECT_LE(mc.tail_fraction, prev + 0.01) << "n=" << n;
+    prev = mc.tail_fraction;
+  }
+  EXPECT_LT(prev, 0.12);  // far into the vanishing regime at n=4096
+}
+
+// The model's C_n must equal the engine-level structural count: a pairwise
+// exchange of positions (i, j) leaves exactly n - (j - i) complete states
+// among the n join states of a left-deep plan.
+TEST(ModelVsPlanTest, CompleteStatesMatchStructuralCount) {
+  Rng rng(11);
+  const int kStreams = 9;               // n = 8 join operators
+  const int n_ops = kStreams - 1;
+  std::vector<StreamId> base;
+  for (int i = 0; i < kStreams; ++i) base.push_back(static_cast<StreamId>(i));
+  for (int t = 0; t < 300; ++t) {
+    int i = 0, j = 0;
+    auto swapped = RandomTriangularSwap(base, &rng, &i, &j);
+    int incomplete = CountIncompleteStates(base, swapped);
+    EXPECT_EQ(n_ops - incomplete, n_ops - (j - i));
+  }
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,187 @@
+// Engine checkpoint/restore: a restored engine must behave
+// tuple-for-tuple like the uninterrupted one.
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/jisc_runtime.h"
+#include "migration/moving_state.h"
+#include "plan/transitions.h"
+#include "tests/test_util.h"
+
+namespace jisc {
+namespace {
+
+using testutil::IdentityMultiset;
+using testutil::IdentityOrder;
+using testutil::UniformWorkload;
+
+TEST(CheckpointTest, ResumeIsTupleForTupleEquivalent) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  auto tuples = UniformWorkload(4, 4, 600);
+
+  // Uninterrupted run.
+  CollectingSink full_sink;
+  Engine full(plan, windows, &full_sink, MakeJiscStrategy());
+  for (const auto& t : tuples) full.Push(t);
+
+  // Run half, checkpoint, restore, run the rest.
+  CollectingSink first_sink;
+  Engine first(plan, windows, &first_sink, MakeJiscStrategy());
+  for (size_t i = 0; i < 300; ++i) first.Push(tuples[i]);
+  auto bytes = CheckpointEngine(first);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  CollectingSink second_sink;
+  auto restored = RestoreEngine(bytes.value(), &second_sink,
+                                MakeJiscStrategy());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (size_t i = 300; i < tuples.size(); ++i) {
+    restored.value()->Push(tuples[i]);
+  }
+
+  // First half + second half == uninterrupted run, exactly.
+  auto combined_outputs = IdentityMultiset(first_sink.outputs());
+  for (const Tuple& t : second_sink.outputs()) {
+    combined_outputs.insert(t.IdentityHash());
+  }
+  EXPECT_EQ(combined_outputs, IdentityMultiset(full_sink.outputs()));
+  auto combined_retractions = IdentityMultiset(first_sink.retractions());
+  for (const Tuple& t : second_sink.retractions()) {
+    combined_retractions.insert(t.IdentityHash());
+  }
+  EXPECT_EQ(combined_retractions, IdentityMultiset(full_sink.retractions()));
+}
+
+TEST(CheckpointTest, RestoredEngineCanMigrate) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(IdentityOrder(4)),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  auto tuples = UniformWorkload(4, 4, 600);
+
+  CollectingSink full_sink;
+  Engine full(plan, windows, &full_sink, MakeJiscStrategy());
+  for (size_t i = 0; i < 300; ++i) full.Push(tuples[i]);
+  ASSERT_TRUE(full.RequestTransition(next).ok());
+  for (size_t i = 300; i < tuples.size(); ++i) full.Push(tuples[i]);
+
+  CollectingSink a_sink;
+  Engine a(plan, windows, &a_sink, MakeJiscStrategy());
+  for (size_t i = 0; i < 300; ++i) a.Push(tuples[i]);
+  auto bytes = CheckpointEngine(a);
+  ASSERT_TRUE(bytes.ok());
+  CollectingSink b_sink;
+  auto b = RestoreEngine(bytes.value(), &b_sink, MakeJiscStrategy());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b.value()->RequestTransition(next).ok());
+  for (size_t i = 300; i < tuples.size(); ++i) b.value()->Push(tuples[i]);
+
+  auto combined = IdentityMultiset(a_sink.outputs());
+  for (const Tuple& t : b_sink.outputs()) combined.insert(t.IdentityHash());
+  EXPECT_EQ(combined, IdentityMultiset(full_sink.outputs()));
+}
+
+TEST(CheckpointTest, RejectsMidMigrationCheckpoints) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep({3, 2, 1, 0}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  CollectingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  auto tuples = UniformWorkload(4, 4, 100);
+  for (const auto& t : tuples) engine.Push(t);
+  ASSERT_TRUE(engine.RequestTransition(next).ok());
+  // Incomplete states exist right after the lazy transition.
+  EXPECT_EQ(CheckpointEngine(engine).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RejectsBufferedArrivals) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(2, 4);
+  CollectingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  engine.PushNoDrain(UniformWorkload(2, 2, 1)[0]);
+  EXPECT_EQ(CheckpointEngine(engine).status().code(),
+            StatusCode::kFailedPrecondition);
+  engine.Drain();
+  EXPECT_TRUE(CheckpointEngine(engine).ok());
+}
+
+TEST(CheckpointTest, RejectsCorruptBytes) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(2, 4);
+  CollectingSink sink;
+  Engine engine(plan, windows, &sink, MakeJiscStrategy());
+  for (const auto& t : UniformWorkload(2, 2, 50)) engine.Push(t);
+  auto bytes = CheckpointEngine(engine);
+  ASSERT_TRUE(bytes.ok());
+
+  CollectingSink s2;
+  EXPECT_FALSE(RestoreEngine("garbage", &s2, MakeJiscStrategy()).ok());
+  std::string truncated = bytes.value().substr(0, bytes.value().size() / 2);
+  EXPECT_FALSE(RestoreEngine(truncated, &s2, MakeJiscStrategy()).ok());
+  std::string trailing = bytes.value() + "xx";
+  EXPECT_FALSE(RestoreEngine(trailing, &s2, MakeJiscStrategy()).ok());
+  std::string flipped = bytes.value();
+  flipped[0] ^= 0x5a;  // magic
+  EXPECT_FALSE(RestoreEngine(flipped, &s2, MakeJiscStrategy()).ok());
+}
+
+TEST(CheckpointTest, TimeWindowsRoundTrip) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::UniformTime(3, 20);
+  auto tuples = UniformWorkload(3, 4, 400);
+
+  CollectingSink full_sink;
+  Engine full(plan, windows, &full_sink, MakeJiscStrategy());
+  for (const auto& t : tuples) full.Push(t);
+
+  CollectingSink a_sink;
+  Engine a(plan, windows, &a_sink, MakeJiscStrategy());
+  for (size_t i = 0; i < 200; ++i) a.Push(tuples[i]);
+  auto bytes = CheckpointEngine(a);
+  ASSERT_TRUE(bytes.ok());
+  CollectingSink b_sink;
+  auto b = RestoreEngine(bytes.value(), &b_sink, MakeJiscStrategy());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b.value()->windows().time_based());
+  for (size_t i = 200; i < tuples.size(); ++i) b.value()->Push(tuples[i]);
+
+  auto combined = IdentityMultiset(a_sink.outputs());
+  for (const Tuple& t : b_sink.outputs()) combined.insert(t.IdentityHash());
+  EXPECT_EQ(combined, IdentityMultiset(full_sink.outputs()));
+}
+
+TEST(CheckpointTest, MovingStateEngineRestoresUnderJisc) {
+  // Strategy is behaviour, not state: a checkpoint taken under Moving State
+  // restores under JISC (and vice versa).
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(3, 6);
+  auto tuples = UniformWorkload(3, 3, 300);
+  CollectingSink a_sink;
+  Engine a(plan, windows, &a_sink, MakeMovingStateStrategy());
+  for (size_t i = 0; i < 150; ++i) a.Push(tuples[i]);
+  auto bytes = CheckpointEngine(a);
+  ASSERT_TRUE(bytes.ok());
+  CollectingSink b_sink;
+  auto b = RestoreEngine(bytes.value(), &b_sink, MakeJiscStrategy());
+  ASSERT_TRUE(b.ok());
+  LogicalPlan next = LogicalPlan::LeftDeep({2, 0, 1}, OpKind::kHashJoin);
+  ASSERT_TRUE(b.value()->RequestTransition(next).ok());
+  for (size_t i = 150; i < tuples.size(); ++i) b.value()->Push(tuples[i]);
+  // Sanity: output matches the reference over the whole run.
+  NaiveJoinReference ref(3, windows);
+  std::vector<Tuple> ref_out;
+  for (const auto& t : tuples) ref.Push(t, &ref_out, nullptr);
+  auto combined = IdentityMultiset(a_sink.outputs());
+  for (const Tuple& t : b_sink.outputs()) combined.insert(t.IdentityHash());
+  EXPECT_EQ(combined, IdentityMultiset(ref_out));
+}
+
+}  // namespace
+}  // namespace jisc

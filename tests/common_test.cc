@@ -1,0 +1,278 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/env.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace jisc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad plan");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad plan");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad plan");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e(Status::NotFound("x"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.UniformU64(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng r(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(13);
+  EXPECT_FALSE(r.Bernoulli(0.0));
+  EXPECT_TRUE(r.Bernoulli(1.0));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, UniformWhenSIsZero) {
+  ZipfDistribution z(10, 0);
+  Rng r(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Sample(&r)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfTest, SkewFavorsSmallRanks) {
+  ZipfDistribution z(100, 1.2);
+  Rng r(3);
+  int first = 0, total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = z.Sample(&r);
+    if (v == 0) ++first;
+    ++total;
+  }
+  EXPECT_GT(first, total / 10);  // rank 0 dominates under s=1.2
+}
+
+// The triangular swap distribution of Section 5.2: gap d has probability
+// proportional to (n-d)/d.
+TEST(TriangularSwapTest, GapProbabilitiesMatchFormula) {
+  const int n = 10;
+  TriangularSwapDistribution dist(n);
+  double hn = 0;
+  for (int r = 1; r <= n; ++r) hn += 1.0 / r;
+  // alpha_n of Eq. (2): 1 / (n*H_n - n).
+  double alpha = 1.0 / (n * hn - n);
+  double total = 0;
+  for (int d = 1; d <= n - 1; ++d) {
+    double expect = (n - d) * alpha / d;
+    EXPECT_NEAR(dist.GapProbability(d), expect, 1e-12) << "gap " << d;
+    total += dist.GapProbability(d);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TriangularSwapTest, SamplesRespectOrderAndRange) {
+  TriangularSwapDistribution dist(8);
+  Rng r(21);
+  for (int i = 0; i < 5000; ++i) {
+    auto [a, b] = dist.Sample(&r);
+    EXPECT_GE(a, 1);
+    EXPECT_LT(a, b);
+    EXPECT_LE(b, 8);
+  }
+}
+
+TEST(TriangularSwapTest, EmpiricalGapFrequencies) {
+  const int n = 6;
+  TriangularSwapDistribution dist(n);
+  Rng r(31);
+  std::vector<int> counts(n, 0);
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    auto [a, b] = dist.Sample(&r);
+    ++counts[b - a];
+  }
+  for (int d = 1; d <= n - 1; ++d) {
+    double freq = static_cast<double>(counts[d]) / kSamples;
+    EXPECT_NEAR(freq, dist.GapProbability(d), 0.01) << "gap " << d;
+  }
+}
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(HistogramTest, PercentilesAndMean) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_EQ(h.max(), 100u);
+  // p50 falls in the bucket holding ~50; exponential buckets give the
+  // bucket's upper bound.
+  EXPECT_GE(h.Percentile(0.5), 32u);
+  EXPECT_LE(h.Percentile(0.5), 127u);
+  EXPECT_EQ(h.Percentile(0.0), h.Percentile(0.001));
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(ThroughputSeriesTest, BucketsByLogicalTime) {
+  ThroughputSeries ts(10);
+  ts.Record(0);
+  ts.Record(9);
+  ts.Record(10);
+  ts.Record(25, 5);
+  ASSERT_EQ(ts.buckets().size(), 3u);
+  EXPECT_EQ(ts.buckets()[0], 2u);
+  EXPECT_EQ(ts.buckets()[1], 1u);
+  EXPECT_EQ(ts.buckets()[2], 5u);
+}
+
+TEST(HashTest, MixU64SpreadsSequentialKeys) {
+  std::set<uint64_t> top;
+  for (uint64_t i = 0; i < 1000; ++i) top.insert(MixU64(i) >> 52);
+  EXPECT_GT(top.size(), 500u);  // high bits well distributed
+}
+
+TEST(HashTest, Fnv1aDiffersOnContent) {
+  EXPECT_NE(Fnv1a("abc", 3), Fnv1a("abd", 3));
+  EXPECT_EQ(Fnv1a("abc", 3), Fnv1a("abc", 3));
+}
+
+TEST(BytesTest, RoundTrip) {
+  ByteWriter w;
+  w.PutU64(42);
+  w.PutI64(-7);
+  w.PutString("hello");
+  w.PutU64(~0ULL);
+  std::string data = w.Take();
+  ByteReader r(data);
+  uint64_t u = 0;
+  int64_t i = 0;
+  std::string str;
+  ASSERT_TRUE(r.GetU64(&u).ok());
+  EXPECT_EQ(u, 42u);
+  ASSERT_TRUE(r.GetI64(&i).ok());
+  EXPECT_EQ(i, -7);
+  ASSERT_TRUE(r.GetString(&str).ok());
+  EXPECT_EQ(str, "hello");
+  ASSERT_TRUE(r.GetU64(&u).ok());
+  EXPECT_EQ(u, ~0ULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncationDetected) {
+  ByteWriter w;
+  w.PutString("abcdef");
+  std::string data = w.Take();
+  std::string cut = data.substr(0, data.size() - 2);
+  ByteReader r(cut);
+  std::string out;
+  EXPECT_FALSE(r.GetString(&out).ok());
+  std::string three = "abc";
+  ByteReader r2(three);
+  uint64_t u = 0;
+  EXPECT_FALSE(r2.GetU64(&u).ok());
+}
+
+TEST(EnvTest, ParsesAndDefaults) {
+  ::setenv("JISC_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("JISC_TEST_ENV_D", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("JISC_TEST_ENV_MISSING", 1.5), 1.5);
+  ::setenv("JISC_TEST_ENV_I", "42", 1);
+  EXPECT_EQ(GetEnvInt("JISC_TEST_ENV_I", 0), 42);
+  ::setenv("JISC_TEST_ENV_BAD", "xyz", 1);
+  EXPECT_EQ(GetEnvInt("JISC_TEST_ENV_BAD", 9), 9);
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,136 @@
+// Determinism: identical runs produce bit-identical work counters and
+// output streams, across every processor — the property all benchmark
+// work-unit comparisons rest on. Also covers the Sum/TopK sinks.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/jisc_runtime.h"
+#include "plan/transitions.h"
+#include "reference/naive_reference.h"
+#include "tests/test_util.h"
+#include "workload/factory.h"
+
+namespace jisc {
+namespace {
+
+using testutil::IdentityOrder;
+using testutil::UniformWorkload;
+
+uint64_t OutputsHash(const std::vector<Tuple>& outputs) {
+  auto ids = testutil::IdentityMultiset(outputs);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t x : ids) h = HashCombine(h, x);
+  return h;
+}
+
+struct RunSignature {
+  uint64_t output_hash;
+  uint64_t work;
+  uint64_t outputs;
+};
+
+RunSignature RunOnce(ProcessorKind kind) {
+  auto order = IdentityOrder(4);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  BuiltProcessor built = MakeProcessor(kind, plan, windows);
+  auto tuples = UniformWorkload(4, 4, 500, /*seed=*/33);
+  std::vector<Tuple> outputs;
+  built.sink->SetCallback(
+      [&](const Tuple& t, Stamp) { outputs.push_back(t); });
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i == 250) {
+      EXPECT_TRUE(built.processor->RequestTransition(next).ok());
+    }
+    built.processor->Push(tuples[i]);
+  }
+  return RunSignature{OutputsHash(outputs),
+                      built.processor->metrics().WorkUnits(),
+                      built.processor->metrics().outputs};
+}
+
+class DeterminismTest : public ::testing::TestWithParam<ProcessorKind> {};
+
+TEST_P(DeterminismTest, RepeatRunsAreBitIdentical) {
+  RunSignature a = RunOnce(GetParam());
+  RunSignature b = RunOnce(GetParam());
+  EXPECT_EQ(a.output_hash, b.output_hash);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DeterminismTest,
+    ::testing::Values(ProcessorKind::kJisc, ProcessorKind::kJiscFirstReceipt,
+                      ProcessorKind::kMovingState,
+                      ProcessorKind::kParallelTrack,
+                      ProcessorKind::kHybridTrack, ProcessorKind::kCacq,
+                      ProcessorKind::kMJoin, ProcessorKind::kStairsEager,
+                      ProcessorKind::kStairsJisc),
+    [](const ::testing::TestParamInfo<ProcessorKind>& info) {
+      std::string name = ProcessorKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// All strategies agree with each other on the output multiset (pairwise
+// cross-check on top of the reference-based equivalence suite).
+TEST(DeterminismTest, AllStrategiesAgree) {
+  uint64_t expected = RunOnce(ProcessorKind::kJisc).output_hash;
+  for (ProcessorKind kind :
+       {ProcessorKind::kMovingState, ProcessorKind::kParallelTrack,
+        ProcessorKind::kHybridTrack, ProcessorKind::kCacq,
+        ProcessorKind::kMJoin, ProcessorKind::kStairsEager,
+        ProcessorKind::kStairsJisc}) {
+    EXPECT_EQ(RunOnce(kind).output_hash, expected)
+        << ProcessorKindName(kind);
+  }
+}
+
+TEST(AggSinkTest, SumTracksReference) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(2, 6);
+  SumAggregateSink sum;
+  Engine engine(plan, windows, &sum, MakeJiscStrategy());
+  NaiveJoinReference ref(2, windows);
+  auto tuples = UniformWorkload(2, 3, 200);
+  for (const auto& t : tuples) {
+    engine.Push(t);
+    ref.Push(t, nullptr, nullptr);
+  }
+  int64_t expect = 0;
+  for (const Tuple& t : ref.CurrentResult()) {
+    for (const BaseTuple& p : t.parts()) expect += p.payload;
+  }
+  EXPECT_EQ(sum.sum(), expect);
+}
+
+TEST(AggSinkTest, TopKeysAcrossTransition) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2}, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep({2, 1, 0}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(3, 9);
+  TopKeysSink topk;
+  Engine engine(plan, windows, &topk, MakeJiscStrategy());
+  NaiveJoinReference ref(3, windows);
+  auto tuples = UniformWorkload(3, 3, 300);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i == 150) ASSERT_TRUE(engine.RequestTransition(next).ok());
+    engine.Push(tuples[i]);
+    ref.Push(tuples[i], nullptr, nullptr);
+  }
+  std::map<JoinKey, int64_t> expect;
+  for (const Tuple& t : ref.CurrentResult()) expect[t.key()] += 1;
+  EXPECT_EQ(topk.distinct_keys(), expect.size());
+  auto top = topk.TopK(2);
+  for (const auto& [key, count] : top) {
+    EXPECT_EQ(expect.at(key), count);
+  }
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "eddy/cacq.h"
+#include "eddy/mjoin.h"
+#include "eddy/stairs.h"
+#include "eddy/stem.h"
+#include "plan/transitions.h"
+#include "tests/test_util.h"
+
+namespace jisc {
+namespace {
+
+using testutil::IdentityMultiset;
+using testutil::IdentityOrder;
+using testutil::UniformWorkload;
+
+BaseTuple Mk(StreamId stream, JoinKey key, Seq seq) {
+  BaseTuple b;
+  b.stream = stream;
+  b.key = key;
+  b.seq = seq;
+  return b;
+}
+
+// Drives an eddy-based processor and the naive reference over the same
+// tuples, with transitions at the scheduled indices; compares cumulative
+// output multisets (eddy executors do not emit retractions).
+bool OutputsMatchReference(StreamProcessor* proc, CollectingSink* sink,
+                           int n, const WindowSpec& windows,
+                           const std::vector<BaseTuple>& tuples,
+                           const std::map<size_t, LogicalPlan>& schedule) {
+  NaiveJoinReference ref(n, windows);
+  std::vector<Tuple> ref_out;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto it = schedule.find(i);
+    if (it != schedule.end()) {
+      if (!proc->RequestTransition(it->second).ok()) return false;
+    }
+    proc->Push(tuples[i]);
+    ref.Push(tuples[i], &ref_out, nullptr);
+  }
+  return IdentityMultiset(sink->outputs()) == IdentityMultiset(ref_out);
+}
+
+TEST(SteMTest, InsertProbeAndWindow) {
+  SteM stem(0, 2);
+  EXPECT_TRUE(stem.Insert(Mk(0, 5, 0), 1).empty());
+  EXPECT_TRUE(stem.Insert(Mk(0, 5, 1), 2).empty());
+  auto expired = stem.Insert(Mk(0, 6, 2), 3);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].seq, 0u);
+  std::vector<Tuple> out;
+  stem.Probe(5, 10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].parts()[0].seq, 1u);
+  EXPECT_EQ(stem.fill(), 2u);
+  EXPECT_EQ(stem.OldestLiveSeq(), 1u);
+}
+
+TEST(SteMTest, TimeModeExpiresSeveralAtOnce) {
+  SteM stem(0, 10, WindowSpec::Mode::kTime);
+  BaseTuple a = Mk(0, 1, 0);
+  a.ts = 100;
+  BaseTuple b = Mk(0, 2, 1);
+  b.ts = 101;
+  BaseTuple c = Mk(0, 3, 2);
+  c.ts = 200;
+  EXPECT_TRUE(stem.Insert(a, 1).empty());
+  EXPECT_TRUE(stem.Insert(b, 2).empty());
+  auto expired = stem.Insert(c, 3);
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_EQ(stem.fill(), 1u);
+}
+
+TEST(SteMTest, ProbeStampVisibility) {
+  SteM stem(0, 4);
+  stem.Insert(Mk(0, 5, 0), 7);
+  std::vector<Tuple> out;
+  stem.Probe(5, 7, &out);
+  EXPECT_TRUE(out.empty());  // same-stamp entries invisible
+  stem.Probe(5, 8, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(CacqTest, MatchesReferenceWithoutTransitions) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(3),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(3, 8);
+  CollectingSink sink;
+  CacqExecutor cacq(plan, windows, &sink);
+  auto tuples = UniformWorkload(3, 4, 400);
+  EXPECT_TRUE(OutputsMatchReference(&cacq, &sink, 3, windows, tuples, {}));
+  EXPECT_GT(sink.outputs().size(), 0u);
+}
+
+TEST(CacqTest, TransitionIsFreeAndCorrect) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep({3, 2, 1, 0}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 6);
+  CollectingSink sink;
+  CacqExecutor cacq(plan, windows, &sink);
+  auto tuples = UniformWorkload(4, 4, 400);
+  std::map<size_t, LogicalPlan> schedule{{200, next}};
+  EXPECT_TRUE(OutputsMatchReference(&cacq, &sink, 4, windows, tuples,
+                                    schedule));
+  EXPECT_EQ(cacq.routing_order(), (std::vector<StreamId>{3, 2, 1, 0}));
+}
+
+TEST(CacqTest, EddyVisitsExceedPipelineHops) {
+  // Every partial result passes through the eddy: visits grow with the
+  // number of joins even when nothing matches downstream.
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(5),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(5, 8);
+  CollectingSink sink;
+  CacqExecutor cacq(plan, windows, &sink);
+  auto tuples = UniformWorkload(5, 2, 300);
+  for (const auto& t : tuples) cacq.Push(t);
+  EXPECT_GT(cacq.metrics().eddy_visits, cacq.metrics().arrivals);
+}
+
+TEST(CacqTest, RejectsSetDifferencePlans) {
+  WindowSpec windows = WindowSpec::Uniform(3, 8);
+  LogicalPlan joins = LogicalPlan::LeftDeep(IdentityOrder(3),
+                                            OpKind::kHashJoin);
+  CollectingSink sink;
+  CacqExecutor cacq(joins, windows, &sink);
+  LogicalPlan diff = LogicalPlan::SetDifferenceChain(0, {1, 2});
+  EXPECT_FALSE(cacq.RequestTransition(diff).ok());
+}
+
+TEST(MJoinTest, MatchesReferenceWithFreeTransitions) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep({3, 2, 1, 0}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 6);
+  CollectingSink sink;
+  MJoinExecutor mjoin(plan, windows, &sink);
+  auto tuples = UniformWorkload(4, 4, 500);
+  std::map<size_t, LogicalPlan> schedule{{150, next}, {300, plan}};
+  EXPECT_TRUE(OutputsMatchReference(&mjoin, &sink, 4, windows, tuples,
+                                    schedule));
+  EXPECT_EQ(mjoin.probe_order(), (std::vector<StreamId>{0, 1, 2, 3}));
+  EXPECT_GT(mjoin.StateMemory(), 0u);
+}
+
+TEST(MJoinTest, NoEddyVisitsAndFewerProbesThanCacq) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  CollectingSink s1, s2;
+  MJoinExecutor mjoin(plan, windows, &s1);
+  CacqExecutor cacq(plan, windows, &s2);
+  auto tuples = UniformWorkload(4, 4, 400);
+  for (const auto& t : tuples) {
+    mjoin.Push(t);
+    cacq.Push(t);
+  }
+  EXPECT_EQ(IdentityMultiset(s1.outputs()), IdentityMultiset(s2.outputs()));
+  EXPECT_EQ(mjoin.metrics().eddy_visits, 0u);
+  EXPECT_GT(cacq.metrics().eddy_visits, 0u);
+}
+
+TEST(MJoinTest, RejectsNonEquiPlans) {
+  WindowSpec windows = WindowSpec::Uniform(3, 8);
+  LogicalPlan joins = LogicalPlan::LeftDeep(IdentityOrder(3),
+                                            OpKind::kHashJoin);
+  CollectingSink sink;
+  MJoinExecutor mjoin(joins, windows, &sink);
+  EXPECT_FALSE(
+      mjoin.RequestTransition(LogicalPlan::SetDifferenceChain(0, {1, 2}))
+          .ok());
+  EXPECT_FALSE(
+      mjoin
+          .RequestTransition(
+              LogicalPlan::LeftDeep(IdentityOrder(3), OpKind::kNljJoin))
+          .ok());
+}
+
+class StairsPolicyTest
+    : public ::testing::TestWithParam<StairsExecutor::MigrationPolicy> {};
+
+TEST_P(StairsPolicyTest, MatchesReferenceWithoutTransitions) {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(3),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(3, 8);
+  CollectingSink sink;
+  StairsExecutor stairs(plan, windows, &sink, GetParam());
+  auto tuples = UniformWorkload(3, 4, 400);
+  EXPECT_TRUE(OutputsMatchReference(&stairs, &sink, 3, windows, tuples, {}));
+}
+
+TEST_P(StairsPolicyTest, BestCaseTransitionCorrect) {
+  auto order = IdentityOrder(4);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(BestCaseOrder(order),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 6);
+  CollectingSink sink;
+  StairsExecutor stairs(plan, windows, &sink, GetParam());
+  auto tuples = UniformWorkload(4, 4, 500);
+  std::map<size_t, LogicalPlan> schedule{{250, next}};
+  EXPECT_TRUE(OutputsMatchReference(&stairs, &sink, 4, windows, tuples,
+                                    schedule));
+}
+
+TEST_P(StairsPolicyTest, WorstCaseTransitionCorrect) {
+  auto order = IdentityOrder(4);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 6);
+  CollectingSink sink;
+  StairsExecutor stairs(plan, windows, &sink, GetParam());
+  auto tuples = UniformWorkload(4, 4, 500);
+  std::map<size_t, LogicalPlan> schedule{{250, next}};
+  EXPECT_TRUE(OutputsMatchReference(&stairs, &sink, 4, windows, tuples,
+                                    schedule));
+}
+
+TEST_P(StairsPolicyTest, OverlappedTransitionsCorrect) {
+  auto order = IdentityOrder(5);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(5, 6);
+  CollectingSink sink;
+  StairsExecutor stairs(plan, windows, &sink, GetParam());
+  auto tuples = UniformWorkload(5, 3, 600);
+  Rng rng(99);
+  std::map<size_t, LogicalPlan> schedule;
+  auto cur = order;
+  for (size_t at = 100; at < 600; at += 100) {
+    cur = RandomTriangularSwap(cur, &rng);
+    schedule.emplace(at, LogicalPlan::LeftDeep(cur, OpKind::kHashJoin));
+  }
+  EXPECT_TRUE(OutputsMatchReference(&stairs, &sink, 5, windows, tuples,
+                                    schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, StairsPolicyTest,
+    ::testing::Values(StairsExecutor::MigrationPolicy::kEager,
+                      StairsExecutor::MigrationPolicy::kLazyJisc),
+    [](const ::testing::TestParamInfo<StairsExecutor::MigrationPolicy>& i) {
+      return i.param == StairsExecutor::MigrationPolicy::kEager
+                 ? std::string("Eager")
+                 : std::string("LazyJisc");
+    });
+
+// Section 4.6: eager STAIRs migrate everything at transition time (no
+// incomplete states remain); lazy JISC-on-STAIRs defers the work.
+TEST(StairsMigrationTest, EagerCompletesLazyDefers) {
+  auto order = IdentityOrder(5);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(5, 16);
+  auto tuples = UniformWorkload(5, 8, 300);
+
+  CollectingSink sink_eager;
+  StairsExecutor eager(plan, windows, &sink_eager,
+                       StairsExecutor::MigrationPolicy::kEager);
+  CollectingSink sink_lazy;
+  StairsExecutor lazy(plan, windows, &sink_lazy,
+                      StairsExecutor::MigrationPolicy::kLazyJisc);
+  for (const auto& t : tuples) {
+    eager.Push(t);
+    lazy.Push(t);
+  }
+  ASSERT_TRUE(eager.RequestTransition(next).ok());
+  ASSERT_TRUE(lazy.RequestTransition(next).ok());
+  EXPECT_EQ(eager.num_incomplete(), 0);
+  EXPECT_GT(lazy.num_incomplete(), 0);
+  // The eager migration paid materialization work up front.
+  EXPECT_GT(eager.metrics().inserts, lazy.metrics().inserts);
+}
+
+// Lazy STAIRs eventually declare their states complete through window
+// turnover.
+TEST(StairsMigrationTest, LazyTurnoverCompletes) {
+  auto order = IdentityOrder(4);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  CollectingSink sink;
+  StairsExecutor lazy(plan, windows, &sink,
+                      StairsExecutor::MigrationPolicy::kLazyJisc);
+  SourceConfig cfg;
+  cfg.num_streams = 4;
+  cfg.key_domain = 16;
+  SyntheticSource src(cfg);
+  for (int i = 0; i < 64; ++i) lazy.Push(src.Next());
+  ASSERT_TRUE(lazy.RequestTransition(next).ok());
+  EXPECT_GT(lazy.num_incomplete(), 0);
+  // Turn the windows over (4 * 8 = 32) plus the 256-push check period.
+  for (int i = 0; i < 600; ++i) lazy.Push(src.Next());
+  EXPECT_EQ(lazy.num_incomplete(), 0);
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,150 @@
+// Sink semantics, in particular the Parallel Track counting dedup
+// (multi-plan first-emit / last-retract forwarding and discard accounting).
+
+#include <gtest/gtest.h>
+
+#include "exec/sink.h"
+
+namespace jisc {
+namespace {
+
+Tuple T(Seq seq, JoinKey key = 7) {
+  BaseTuple b;
+  b.stream = 0;
+  b.key = key;
+  b.seq = seq;
+  return Tuple::FromBase(b, 0, true);
+}
+
+TEST(CountingSinkTest, CountsAndCallback) {
+  CountingSink s;
+  int cb = 0;
+  s.SetCallback([&](const Tuple&, Stamp) { ++cb; });
+  s.OnOutput(T(1), 10);
+  s.OnOutput(T(2), 11);
+  s.OnRetract(T(1), 12);
+  EXPECT_EQ(s.outputs(), 2u);
+  EXPECT_EQ(s.retractions(), 1u);
+  EXPECT_EQ(cb, 2);
+}
+
+TEST(CollectingSinkTest, StoresOutputsAndStamps) {
+  CollectingSink s;
+  s.OnOutput(T(1), 10);
+  s.OnRetract(T(1), 12);
+  ASSERT_EQ(s.outputs().size(), 1u);
+  ASSERT_EQ(s.output_stamps().size(), 1u);
+  EXPECT_EQ(s.output_stamps()[0], 10u);
+  EXPECT_EQ(s.retractions().size(), 1u);
+  s.Clear();
+  EXPECT_TRUE(s.outputs().empty());
+}
+
+TEST(CountAggregateSinkTest, NetCount) {
+  CountAggregateSink s;
+  s.OnOutput(T(1), 1);
+  s.OnOutput(T(2), 2);
+  s.OnRetract(T(1), 3);
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(GroupCountSinkTest, GroupsEraseAtZero) {
+  GroupCountSink s;
+  s.OnOutput(T(1, 5), 1);
+  s.OnOutput(T(2, 5), 1);
+  s.OnOutput(T(3, 9), 1);
+  EXPECT_EQ(s.counts().at(5), 2);
+  s.OnRetract(T(1, 5), 2);
+  s.OnRetract(T(2, 5), 2);
+  EXPECT_EQ(s.counts().count(5), 0u);
+  EXPECT_EQ(s.counts().at(9), 1);
+}
+
+class DedupSinkTest : public ::testing::Test {
+ protected:
+  DedupSinkTest() : dedup_(&downstream_) {}
+  CollectingSink downstream_;
+  DedupSink dedup_;
+};
+
+TEST_F(DedupSinkTest, SinglePlanPassThrough) {
+  dedup_.OnOutput(T(1), 1);
+  dedup_.OnRetract(T(1), 2);
+  EXPECT_EQ(downstream_.outputs().size(), 1u);
+  EXPECT_EQ(downstream_.retractions().size(), 1u);
+  EXPECT_EQ(dedup_.live_size(), 0u);
+}
+
+TEST_F(DedupSinkTest, TwoPlansForwardFirstEmitLastRetract) {
+  dedup_.OnOutput(T(1), 1);  // plan A
+  dedup_.OnOutput(T(1), 1);  // plan B (duplicate)
+  EXPECT_EQ(downstream_.outputs().size(), 1u);
+  dedup_.OnRetract(T(1), 2);  // plan A retires it
+  EXPECT_TRUE(downstream_.retractions().empty());  // B still covers it
+  dedup_.OnRetract(T(1), 2);  // plan B retires it
+  EXPECT_EQ(downstream_.retractions().size(), 1u);
+}
+
+TEST_F(DedupSinkTest, DiscardReleasesShareWithoutRetracting) {
+  dedup_.OnOutput(T(1), 1);  // plan A
+  dedup_.OnOutput(T(1), 1);  // plan B
+  dedup_.NoteDiscard(T(1));  // plan A discarded; B still live
+  EXPECT_TRUE(downstream_.retractions().empty());
+  dedup_.OnRetract(T(1), 5);  // B finally expires it
+  EXPECT_EQ(downstream_.retractions().size(), 1u);
+  EXPECT_EQ(dedup_.live_size(), 0u);
+}
+
+TEST_F(DedupSinkTest, MixedComboSeenByOnePlanOnly) {
+  dedup_.OnOutput(T(1), 1);   // only the old plan produced it
+  dedup_.OnRetract(T(1), 3);  // and only the old plan retracts it
+  EXPECT_EQ(downstream_.outputs().size(), 1u);
+  EXPECT_EQ(downstream_.retractions().size(), 1u);
+}
+
+TEST_F(DedupSinkTest, ReEmissionAfterFullRetirementForwardsAgain) {
+  dedup_.OnOutput(T(1), 1);
+  dedup_.OnRetract(T(1), 2);
+  dedup_.OnOutput(T(1), 3);  // window circumstances change; emitted again
+  EXPECT_EQ(downstream_.outputs().size(), 2u);
+}
+
+TEST_F(DedupSinkTest, ThreePlansOverlapped) {
+  // Overlapped transitions: three live plans produce the same result.
+  dedup_.OnOutput(T(9), 1);
+  dedup_.OnOutput(T(9), 1);
+  dedup_.OnOutput(T(9), 1);
+  EXPECT_EQ(downstream_.outputs().size(), 1u);
+  dedup_.NoteDiscard(T(9));  // oldest plan dropped
+  dedup_.OnRetract(T(9), 4);
+  EXPECT_TRUE(downstream_.retractions().empty());
+  dedup_.OnRetract(T(9), 4);
+  EXPECT_EQ(downstream_.retractions().size(), 1u);
+}
+
+TEST_F(DedupSinkTest, MetricsChargeDedupChecks) {
+  Metrics m;
+  dedup_.set_metrics(&m);
+  dedup_.OnOutput(T(1), 1);
+  dedup_.OnRetract(T(1), 2);
+  EXPECT_EQ(m.dedup_checks, 2u);
+}
+
+TEST(MetricsTest, AccumulateAndToString) {
+  Metrics a;
+  a.probes = 3;
+  a.outputs = 1;
+  Metrics b;
+  b.probes = 2;
+  b.completions = 4;
+  a += b;
+  EXPECT_EQ(a.probes, 5u);
+  EXPECT_EQ(a.completions, 4u);
+  EXPECT_NE(a.ToString().find("probes=5"), std::string::npos);
+  EXPECT_GT(a.WorkUnits(), 0u);
+  a.Reset();
+  EXPECT_EQ(a.probes, 0u);
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,91 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/sketch.h"
+
+namespace jisc {
+namespace {
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch cms(512, 4);
+  Rng rng(7);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.UniformU64(300);
+    cms.Add(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cms.Estimate(key), count) << "key " << key;
+  }
+  EXPECT_EQ(cms.total(), 20000u);
+}
+
+TEST(CountMinTest, ErrorBoundedByTotalOverWidth) {
+  const size_t kWidth = 2048;
+  CountMinSketch cms(kWidth, 5);
+  Rng rng(11);
+  std::map<uint64_t, uint64_t> truth;
+  const uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint64_t key = rng.UniformU64(5000);
+    cms.Add(key);
+    ++truth[key];
+  }
+  // CM guarantee: err <= e*N/width with high probability; allow 3x slack.
+  uint64_t budget = 3 * 2.72 * kN / kWidth + 1;
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (cms.Estimate(key) > count + budget) ++violations;
+  }
+  EXPECT_LE(violations, 5);
+}
+
+TEST(CountMinTest, MergeAddsCounts) {
+  CountMinSketch a(128, 3);
+  CountMinSketch b(128, 3);
+  a.Add(42, 10);
+  b.Add(42, 5);
+  b.Add(7, 2);
+  a.Merge(b);
+  EXPECT_GE(a.Estimate(42), 15u);
+  EXPECT_GE(a.Estimate(7), 2u);
+  EXPECT_EQ(a.total(), 17u);
+  a.Clear();
+  EXPECT_EQ(a.Estimate(42), 0u);
+}
+
+TEST(HyperLogLogTest, AccurateWithinStandardError) {
+  for (uint64_t distinct : {100u, 10000u, 200000u}) {
+    HyperLogLog hll(12);  // 4096 registers -> ~1.6% standard error
+    for (uint64_t i = 0; i < distinct; ++i) {
+      hll.Add(i * 0x9e3779b97f4a7c15ULL + 1);
+      hll.Add(i * 0x9e3779b97f4a7c15ULL + 1);  // duplicates don't count
+    }
+    double est = hll.Estimate();
+    EXPECT_NEAR(est, static_cast<double>(distinct), 0.06 * distinct)
+        << "distinct " << distinct;
+  }
+}
+
+TEST(HyperLogLogTest, SmallRangeLinearCounting) {
+  HyperLogLog hll(10);
+  for (uint64_t i = 0; i < 5; ++i) hll.Add(i);
+  EXPECT_NEAR(hll.Estimate(), 5.0, 1.0);
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  for (uint64_t i = 0; i < 5000; ++i) a.Add(i);
+  for (uint64_t i = 2500; i < 7500; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), 7500.0, 0.06 * 7500);
+  a.Clear();
+  EXPECT_LT(a.Estimate(), 1.0);
+}
+
+}  // namespace
+}  // namespace jisc

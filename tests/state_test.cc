@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "state/operator_state.h"
+
+namespace jisc {
+namespace {
+
+BaseTuple MakeBase(StreamId s, JoinKey k, Seq seq) {
+  BaseTuple b;
+  b.stream = s;
+  b.key = k;
+  b.seq = seq;
+  return b;
+}
+
+Tuple T(StreamId s, JoinKey k, Seq seq, Stamp birth = 0) {
+  return Tuple::FromBase(MakeBase(s, k, seq), birth, true);
+}
+
+class OperatorStateTest : public ::testing::Test {
+ protected:
+  OperatorStateTest()
+      : state_(StreamSet::Single(0), StateIndex::kHash) {}
+  OperatorState state_;
+};
+
+TEST_F(OperatorStateTest, InsertAndProbeVisibility) {
+  state_.Insert(T(0, 5, 1), /*insert_stamp=*/10);
+  std::vector<Tuple> out;
+  state_.CollectMatches(5, /*p=*/10, &out);
+  EXPECT_TRUE(out.empty()) << "same-stamp entries are invisible";
+  state_.CollectMatches(5, 11, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].parts()[0].seq, 1u);
+}
+
+TEST_F(OperatorStateTest, RemovalMakesInvisibleAtRemoveStamp) {
+  state_.Insert(T(0, 5, 1), 10);
+  std::vector<Tuple> removed;
+  int n = state_.RemoveContaining(1, 5, /*remove_stamp=*/20, &removed);
+  EXPECT_EQ(n, 1);
+  ASSERT_EQ(removed.size(), 1u);
+  std::vector<Tuple> out;
+  state_.CollectMatches(5, 15, &out);  // probe between insert and remove
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  state_.CollectMatches(5, 20, &out);  // probe at the removal stamp
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  state_.CollectMatches(5, 25, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(OperatorStateTest, DedupInsertSkipsLiveDuplicates) {
+  EXPECT_TRUE(state_.Insert(T(0, 5, 1), 10, /*dedup=*/true));
+  EXPECT_FALSE(state_.Insert(T(0, 5, 1), 12, /*dedup=*/true));
+  EXPECT_EQ(state_.live_size(), 1u);
+  // After removal, the same identity may be inserted again.
+  state_.RemoveContaining(1, 5, 15, nullptr);
+  EXPECT_TRUE(state_.Insert(T(0, 5, 1), 20, /*dedup=*/true));
+}
+
+TEST_F(OperatorStateTest, LiveCountsAndDistinctKeys) {
+  state_.Insert(T(0, 5, 1), 1);
+  state_.Insert(T(0, 5, 2), 2);
+  state_.Insert(T(0, 7, 3), 3);
+  EXPECT_EQ(state_.live_size(), 3u);
+  EXPECT_EQ(state_.DistinctLiveKeys(), 2u);
+  state_.RemoveContaining(1, 5, 4, nullptr);
+  EXPECT_EQ(state_.live_size(), 2u);
+  EXPECT_EQ(state_.DistinctLiveKeys(), 2u);
+  state_.RemoveContaining(2, 5, 5, nullptr);
+  EXPECT_EQ(state_.DistinctLiveKeys(), 1u);
+  auto keys = state_.LiveKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], 7);
+}
+
+TEST_F(OperatorStateTest, VacuumDirtyErasesTombstones) {
+  state_.Insert(T(0, 5, 1), 1);
+  state_.Insert(T(0, 5, 2), 1);
+  state_.RemoveContaining(1, 5, 3, nullptr);
+  EXPECT_TRUE(state_.HasTombstones());
+  state_.VacuumDirty();
+  EXPECT_FALSE(state_.HasTombstones());
+  // The survivor remains probe-able.
+  std::vector<Tuple> out;
+  state_.CollectMatches(5, 10, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(OperatorStateTest, ContainsKeyLiveAndExact) {
+  state_.Insert(T(0, 5, 1), 1);
+  EXPECT_TRUE(state_.ContainsKeyLive(5));
+  EXPECT_FALSE(state_.ContainsKeyLive(6));
+  EXPECT_TRUE(state_.ContainsExactLive(T(0, 5, 1)));
+  EXPECT_FALSE(state_.ContainsExactLive(T(0, 5, 2)));
+  state_.RemoveExact(T(0, 5, 1), 2);
+  EXPECT_FALSE(state_.ContainsKeyLive(5));
+}
+
+TEST_F(OperatorStateTest, RemoveExactOnMissingReturnsFalse) {
+  EXPECT_FALSE(state_.RemoveExact(T(0, 5, 1), 2));
+}
+
+TEST_F(OperatorStateTest, ForEachVisibleAndLive) {
+  state_.Insert(T(0, 5, 1), 1);
+  state_.Insert(T(0, 6, 2), 5);
+  state_.RemoveContaining(2, 6, 7, nullptr);
+  int visible_at_6 = 0;
+  state_.ForEachVisible(6, [&](const Tuple&) { ++visible_at_6; });
+  EXPECT_EQ(visible_at_6, 2);  // the removed entry still visible before 7
+  int live = 0;
+  state_.ForEachLive([&](const Tuple&) { ++live; });
+  EXPECT_EQ(live, 1);
+}
+
+TEST_F(OperatorStateTest, CompletenessBookkeeping) {
+  EXPECT_TRUE(state_.complete());
+  state_.MarkIncomplete();
+  EXPECT_FALSE(state_.complete());
+  EXPECT_FALSE(state_.IsKeyCompleted(5));
+  state_.MarkKeyCompleted(5);
+  EXPECT_TRUE(state_.IsKeyCompleted(5));
+  EXPECT_EQ(state_.NumCompletedKeys(), 1u);
+  state_.MarkComplete();
+  EXPECT_TRUE(state_.complete());
+  EXPECT_EQ(state_.NumCompletedKeys(), 0u);
+}
+
+TEST_F(OperatorStateTest, ClearResetsEverything) {
+  state_.Insert(T(0, 5, 1), 1);
+  state_.MarkIncomplete();
+  state_.MarkKeyCompleted(5);
+  state_.Clear();
+  EXPECT_EQ(state_.live_size(), 0u);
+  EXPECT_EQ(state_.DistinctLiveKeys(), 0u);
+  EXPECT_EQ(state_.NumCompletedKeys(), 0u);
+  EXPECT_FALSE(state_.ContainsKeyLive(5));
+}
+
+// Composite combinations: removal by any contained part's seq.
+TEST(OperatorStateComboTest, RemoveContainingFindsCombos) {
+  OperatorState st(StreamSet::Union(StreamSet::Single(0),
+                                    StreamSet::Single(1)),
+                   StateIndex::kHash);
+  Tuple combo = Tuple::Concat(T(0, 5, 1), T(1, 5, 2), 3, true);
+  st.Insert(combo, 3);
+  EXPECT_EQ(st.RemoveContaining(2, 5, 9, nullptr), 1);
+  EXPECT_EQ(st.live_size(), 0u);
+}
+
+// List-indexed states: removal must scan all buckets (combos may live under
+// a different bucket key than the expired part's key).
+TEST(OperatorStateComboTest, ListIndexRemovalScansAllBuckets) {
+  OperatorState st(StreamSet::Union(StreamSet::Single(0),
+                                    StreamSet::Single(1)),
+                   StateIndex::kList);
+  // Band-join combo: parts with different keys; bucket key = first part's.
+  Tuple combo = Tuple::Concat(T(0, 5, 1), T(1, 7, 2), 3, true);
+  st.Insert(combo, 3);
+  // Remove by the *second* part's seq and key (different bucket).
+  EXPECT_EQ(st.RemoveContaining(2, 7, 9, nullptr), 1);
+  EXPECT_EQ(st.live_size(), 0u);
+}
+
+TEST(OperatorStateComboTest, HashIndexRemovalConfinedToKeyBucket) {
+  OperatorState st(StreamSet::Single(0), StateIndex::kHash);
+  st.Insert(T(0, 5, 1), 1);
+  st.Insert(T(0, 6, 2), 1);
+  // Wrong key: not found even though seq exists under key 5.
+  EXPECT_EQ(st.RemoveContaining(1, 6, 9, nullptr), 0);
+  EXPECT_EQ(st.RemoveContaining(1, 5, 9, nullptr), 1);
+}
+
+TEST(OperatorStateComboTest, DebugStringMentionsCompleteness) {
+  OperatorState st(StreamSet::Single(3), StateIndex::kHash);
+  EXPECT_NE(st.DebugString().find("complete"), std::string::npos);
+  st.MarkIncomplete();
+  EXPECT_NE(st.DebugString().find("INCOMPLETE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jisc

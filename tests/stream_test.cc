@@ -1,0 +1,148 @@
+// Synthetic source patterns, window specs, and the workload regimes the
+// benches rely on.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stream/synthetic_source.h"
+#include "stream/window.h"
+
+namespace jisc {
+namespace {
+
+TEST(WindowSpecTest, UniformAndPerStream) {
+  WindowSpec u = WindowSpec::Uniform(3, 100);
+  EXPECT_EQ(u.num_streams(), 3);
+  for (StreamId s = 0; s < 3; ++s) EXPECT_EQ(u.SizeFor(s), 100u);
+  WindowSpec p = WindowSpec::PerStream({5, 10});
+  EXPECT_EQ(p.num_streams(), 2);
+  EXPECT_EQ(p.SizeFor(0), 5u);
+  EXPECT_EQ(p.SizeFor(1), 10u);
+}
+
+TEST(SyntheticSourceTest, UniformRandomInterleaveCoversStreams) {
+  SourceConfig cfg;
+  cfg.num_streams = 4;
+  cfg.interleave = Interleave::kUniformRandom;
+  cfg.seed = 9;
+  SyntheticSource src(cfg);
+  std::map<StreamId, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[src.Next().stream];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [s, c] : counts) {
+    (void)s;
+    EXPECT_NEAR(c, 1000, 200);
+  }
+}
+
+TEST(SyntheticSourceTest, SequentialPatternUnitSelectivity) {
+  // With key_domain == window, each stream's window holds every key exactly
+  // once at any time.
+  SourceConfig cfg;
+  cfg.num_streams = 3;
+  cfg.key_domain = 8;
+  cfg.key_pattern = KeyPattern::kSequential;
+  SyntheticSource src(cfg);
+  // Simulate per-stream windows of size 8.
+  std::map<StreamId, std::vector<JoinKey>> windows;
+  for (int i = 0; i < 3 * 64; ++i) {
+    BaseTuple t = src.Next();
+    auto& w = windows[t.stream];
+    w.push_back(t.key);
+    if (w.size() > 8) w.erase(w.begin());
+  }
+  for (auto& [s, w] : windows) {
+    (void)s;
+    std::set<JoinKey> distinct(w.begin(), w.end());
+    EXPECT_EQ(distinct.size(), w.size()) << "each key once per window";
+    EXPECT_EQ(distinct.size(), 8u);
+  }
+}
+
+TEST(SyntheticSourceTest, BottomFanoutPattern) {
+  SourceConfig cfg;
+  cfg.num_streams = 4;
+  cfg.key_domain = 12;
+  cfg.key_pattern = KeyPattern::kBottomFanout;
+  cfg.fanout = 3;
+  SyntheticSource src(cfg);
+  for (int i = 0; i < 4 * 36; ++i) {
+    BaseTuple t = src.Next();
+    if (t.stream <= 1) {
+      EXPECT_EQ(t.key % 3, 0) << "bottom keys rounded to fanout multiples";
+    }
+    EXPECT_LT(t.key, 12);
+  }
+}
+
+TEST(SyntheticSourceTest, PerStreamDomains) {
+  SourceConfig cfg;
+  cfg.num_streams = 3;
+  cfg.key_domain = 1000;
+  cfg.per_stream_key_domain = {2, 10, 1000};
+  cfg.seed = 4;
+  SyntheticSource src(cfg);
+  std::map<StreamId, std::set<JoinKey>> seen;
+  for (int i = 0; i < 3000; ++i) {
+    BaseTuple t = src.Next();
+    seen[t.stream].insert(t.key);
+    if (t.stream == 0) EXPECT_LT(t.key, 2);
+    if (t.stream == 1) EXPECT_LT(t.key, 10);
+  }
+  EXPECT_EQ(seen[0].size(), 2u);
+  EXPECT_EQ(seen[1].size(), 10u);
+  EXPECT_GT(seen[2].size(), 100u);
+}
+
+TEST(SyntheticSourceTest, PerStreamDomainShiftKeepsSeqMonotonic) {
+  SourceConfig cfg;
+  cfg.num_streams = 2;
+  cfg.key_domain = 100;
+  cfg.per_stream_key_domain = {2, 100};
+  SyntheticSource src(cfg);
+  Seq last = 0;
+  for (int i = 0; i < 20; ++i) last = src.Next().seq;
+  src.SetPerStreamKeyDomains({100, 2});
+  bool saw_big_s0 = false;
+  for (int i = 0; i < 100; ++i) {
+    BaseTuple t = src.Next();
+    EXPECT_GT(t.seq, last);
+    last = t.seq;
+    if (t.stream == 0 && t.key >= 2) saw_big_s0 = true;
+  }
+  EXPECT_TRUE(saw_big_s0);
+}
+
+TEST(SyntheticSourceTest, ZipfSkewAppliesPerStream) {
+  SourceConfig cfg;
+  cfg.num_streams = 1;
+  cfg.key_domain = 100;
+  cfg.zipf_s = 1.5;
+  cfg.seed = 8;
+  SyntheticSource src(cfg);
+  std::map<JoinKey, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[src.Next().key];
+  // Rank-0 key dominates under heavy skew.
+  EXPECT_GT(counts[0], 3000);
+}
+
+TEST(SyntheticSourceTest, BatchIsEquivalentToLoop) {
+  SourceConfig cfg;
+  cfg.num_streams = 2;
+  cfg.key_domain = 50;
+  cfg.seed = 77;
+  SyntheticSource a(cfg);
+  SyntheticSource b(cfg);
+  auto batch = a.NextBatch(100);
+  for (const BaseTuple& t : batch) {
+    BaseTuple u = b.Next();
+    EXPECT_EQ(t.seq, u.seq);
+    EXPECT_EQ(t.key, u.key);
+    EXPECT_EQ(t.stream, u.stream);
+  }
+}
+
+}  // namespace
+}  // namespace jisc

@@ -1,0 +1,89 @@
+#ifndef JISC_TESTS_TEST_UTIL_H_
+#define JISC_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "exec/sink.h"
+#include "exec/stream_processor.h"
+#include "plan/logical_plan.h"
+#include "reference/naive_reference.h"
+#include "stream/synthetic_source.h"
+#include "types/tuple.h"
+
+namespace jisc {
+namespace testutil {
+
+// Multiset of combination identities, for order-insensitive comparison of
+// output streams.
+inline std::multiset<uint64_t> IdentityMultiset(const std::vector<Tuple>& v) {
+  std::multiset<uint64_t> out;
+  for (const Tuple& t : v) out.insert(t.IdentityHash());
+  return out;
+}
+
+// Drives `processor` over `tuples`, requesting the transition scheduled at
+// index i (plan applied *before* tuple i is pushed). Simultaneously drives
+// the naive reference and returns whether cumulative outputs and
+// retractions match it exactly.
+struct DriveResult {
+  bool outputs_match = false;
+  bool retractions_match = false;
+  uint64_t outputs = 0;
+  uint64_t reference_outputs = 0;
+
+  bool ok() const { return outputs_match && retractions_match; }
+};
+
+inline DriveResult DriveAndCompare(
+    StreamProcessor* processor, CollectingSink* sink, int num_streams,
+    const WindowSpec& windows, const std::vector<BaseTuple>& tuples,
+    const std::map<size_t, LogicalPlan>& transitions,
+    ThetaSpec theta = ThetaSpec()) {
+  NaiveJoinReference ref(num_streams, windows, theta);
+  std::vector<Tuple> ref_outputs;
+  std::vector<Tuple> ref_retractions;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto it = transitions.find(i);
+    if (it != transitions.end()) {
+      Status s = processor->RequestTransition(it->second);
+      if (!s.ok()) return DriveResult{};
+    }
+    processor->Push(tuples[i]);
+    ref.Push(tuples[i], &ref_outputs, &ref_retractions);
+  }
+  DriveResult r;
+  r.outputs = sink->outputs().size();
+  r.reference_outputs = ref_outputs.size();
+  r.outputs_match =
+      IdentityMultiset(sink->outputs()) == IdentityMultiset(ref_outputs);
+  r.retractions_match = IdentityMultiset(sink->retractions()) ==
+                        IdentityMultiset(ref_retractions);
+  return r;
+}
+
+// Round-robin workload over `n` streams with keys uniform in [0, domain).
+inline std::vector<BaseTuple> UniformWorkload(int n, uint64_t domain,
+                                              size_t count,
+                                              uint64_t seed = 7) {
+  SourceConfig cfg;
+  cfg.num_streams = n;
+  cfg.key_domain = domain;
+  cfg.seed = seed;
+  SyntheticSource src(cfg);
+  return src.NextBatch(count);
+}
+
+// The identity left-deep order 0,1,...,n-1.
+inline std::vector<StreamId> IdentityOrder(int n) {
+  std::vector<StreamId> order;
+  for (int i = 0; i < n; ++i) order.push_back(static_cast<StreamId>(i));
+  return order;
+}
+
+}  // namespace testutil
+}  // namespace jisc
+
+#endif  // JISC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,172 @@
+// Unit tests for the Section 4.3 completion-detection machinery
+// (CompletionTracker) against hand-built operator trees.
+
+#include <gtest/gtest.h>
+
+#include "core/completion_tracker.h"
+#include "exec/stream_scan.h"
+#include "exec/symmetric_hash_join.h"
+
+namespace jisc {
+namespace {
+
+BaseTuple Mk(StreamId s, JoinKey k, Seq seq) {
+  BaseTuple b;
+  b.stream = s;
+  b.key = k;
+  b.seq = seq;
+  return b;
+}
+
+Tuple T(StreamId s, JoinKey k, Seq seq) {
+  return Tuple::FromBase(Mk(s, k, seq), /*birth=*/1, true);
+}
+
+// A minimal two-leaf join fixture with directly controllable states.
+class TrackerFixture : public ::testing::Test {
+ protected:
+  TrackerFixture()
+      : left_(0, /*stream=*/0, /*window=*/64),
+        right_(1, /*stream=*/1, /*window=*/64),
+        join_(2, StreamSet::Union(StreamSet::Single(0),
+                                  StreamSet::Single(1))) {
+    join_.SetChildren(&left_, &right_);
+    left_.SetParent(&join_, Side::kLeft);
+    right_.SetParent(&join_, Side::kRight);
+  }
+
+  void FillLeft(std::initializer_list<JoinKey> keys) {
+    Seq seq = 100;
+    for (JoinKey k : keys) left_.state().Insert(T(0, k, seq++), 1);
+  }
+  void FillRight(std::initializer_list<JoinKey> keys) {
+    Seq seq = 200;
+    for (JoinKey k : keys) right_.state().Insert(T(1, k, seq++), 1);
+  }
+
+  StreamScan left_;
+  StreamScan right_;
+  SymmetricHashJoin join_;
+};
+
+TEST_F(TrackerFixture, Case1PicksSmallerChild) {
+  FillLeft({1, 2, 3});
+  FillRight({1, 2});
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, /*since=*/5, /*boundary=*/50);
+  EXPECT_EQ(tr.init_case(), CompletionTracker::InitCase::kBothComplete);
+  EXPECT_FALSE(tr.initialized());  // snapshot deferred to the first sweep
+  tr.SweepExpired();
+  EXPECT_TRUE(tr.initialized());
+  EXPECT_EQ(tr.pending(), 2u);  // right child's {1, 2}
+  EXPECT_FALSE(tr.Done());
+}
+
+TEST_F(TrackerFixture, Case2PicksCompleteChild) {
+  FillLeft({1, 2, 3});
+  FillRight({1});
+  left_.state().MarkIncomplete();  // simulate an incomplete subtree
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50);
+  EXPECT_EQ(tr.init_case(), CompletionTracker::InitCase::kOneComplete);
+  tr.SweepExpired();
+  EXPECT_EQ(tr.pending(), 1u);  // right (complete) child's {1}
+}
+
+TEST_F(TrackerFixture, CountdownToDone) {
+  FillLeft({1, 2});
+  FillRight({1, 2});
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50);
+  tr.SweepExpired();
+  ASSERT_EQ(tr.pending(), 2u);
+  tr.OnKeyCompleted(1);
+  EXPECT_EQ(tr.pending(), 1u);
+  EXPECT_FALSE(tr.Done());
+  tr.OnKeyCompleted(2);
+  EXPECT_TRUE(tr.Done());
+  // Completing an unknown value is a no-op.
+  tr.OnKeyCompleted(99);
+  EXPECT_TRUE(tr.Done());
+}
+
+TEST_F(TrackerFixture, SweepRetiresExpiredValues) {
+  FillLeft({1, 2});
+  FillRight({1, 2});
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50);
+  tr.SweepExpired();  // snapshot {1,2} from the smaller side (tie -> left)
+  ASSERT_EQ(tr.pending(), 2u);
+  // Value 1 expires entirely from the reference child.
+  int n = left_.state().RemoveContaining(100, 1, /*stamp=*/9, nullptr);
+  ASSERT_EQ(n, 1);
+  tr.SweepExpired();
+  EXPECT_EQ(tr.pending(), 1u);
+  tr.OnKeyCompleted(2);
+  EXPECT_TRUE(tr.Done());
+}
+
+TEST_F(TrackerFixture, AlreadyCompletedValuesExcludedFromSnapshot) {
+  FillLeft({1, 2, 3});
+  FillRight({1, 2, 3});
+  join_.state().MarkIncomplete();
+  join_.state().MarkKeyCompleted(2);  // carried from an earlier transition
+  CompletionTracker tr(&join_, 5, 50);
+  tr.SweepExpired();
+  EXPECT_EQ(tr.pending(), 2u);  // {1, 3}
+}
+
+TEST_F(TrackerFixture, EmptyReferenceChildIsImmediatelyDone) {
+  FillLeft({1, 2});
+  // Right child empty: no old combinations can be missing.
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50);
+  tr.SweepExpired();
+  EXPECT_TRUE(tr.Done());
+}
+
+TEST_F(TrackerFixture, Case3DeferredUntilChildrenComplete) {
+  FillLeft({1});
+  FillRight({1});
+  left_.state().MarkIncomplete();
+  right_.state().MarkIncomplete();
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50);
+  EXPECT_EQ(tr.init_case(), CompletionTracker::InitCase::kNoneComplete);
+  tr.SweepExpired();  // no reference child yet
+  tr.ResolveDeferred();
+  EXPECT_FALSE(tr.initialized());
+  EXPECT_FALSE(tr.Done());
+  left_.state().MarkComplete();
+  tr.ResolveDeferred();
+  EXPECT_FALSE(tr.initialized());  // still waiting on the right child
+  right_.state().MarkComplete();
+  tr.ResolveDeferred();
+  EXPECT_TRUE(tr.initialized());
+  EXPECT_EQ(tr.pending(), 1u);
+}
+
+TEST_F(TrackerFixture, PaperCase3RuleCompletesOnChildren) {
+  left_.state().MarkIncomplete();
+  right_.state().MarkIncomplete();
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50, /*paper_case3=*/true);
+  tr.ResolveDeferred();
+  EXPECT_FALSE(tr.Done());
+  left_.state().MarkComplete();
+  right_.state().MarkComplete();
+  tr.ResolveDeferred();
+  // The paper's literal rule: complete as soon as both children are.
+  EXPECT_TRUE(tr.Done());
+}
+
+TEST_F(TrackerFixture, MetadataAccessors) {
+  join_.state().MarkIncomplete();
+  CompletionTracker tr(&join_, 5, 50);
+  EXPECT_EQ(tr.since_stamp(), 5u);
+  EXPECT_EQ(tr.boundary_seq(), 50u);
+  EXPECT_EQ(tr.op(), &join_);
+}
+
+}  // namespace
+}  // namespace jisc

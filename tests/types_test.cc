@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace jisc {
+namespace {
+
+BaseTuple MakeBase(StreamId s, JoinKey k, Seq seq) {
+  BaseTuple b;
+  b.stream = s;
+  b.key = k;
+  b.seq = seq;
+  return b;
+}
+
+TEST(StreamSetTest, SingleAndUnion) {
+  StreamSet a = StreamSet::Single(0);
+  StreamSet b = StreamSet::Single(3);
+  StreamSet u = StreamSet::Union(a, b);
+  EXPECT_TRUE(u.Contains(0));
+  EXPECT_TRUE(u.Contains(3));
+  EXPECT_FALSE(u.Contains(1));
+  EXPECT_EQ(u.size(), 2);
+  EXPECT_TRUE(u.ContainsAll(a));
+  EXPECT_TRUE(u.Intersects(b));
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(StreamSetTest, EmptyAndEquality) {
+  StreamSet e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+  EXPECT_TRUE(StreamSet::Single(5) == StreamSet::Single(5));
+  EXPECT_FALSE(StreamSet::Single(5) == StreamSet::Single(6));
+}
+
+TEST(StreamSetTest, ToVectorAscending) {
+  StreamSet s = StreamSet::Union(StreamSet::Single(7),
+                                 StreamSet::Union(StreamSet::Single(2),
+                                                  StreamSet::Single(63)));
+  std::vector<StreamId> v = s.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[1], 7);
+  EXPECT_EQ(v[2], 63);
+  EXPECT_EQ(s.ToString(), "{S2,S7,S63}");
+}
+
+TEST(TupleTest, FromBase) {
+  Tuple t = Tuple::FromBase(MakeBase(2, 10, 99), /*birth=*/5, /*fresh=*/true);
+  EXPECT_EQ(t.parts().size(), 1u);
+  EXPECT_EQ(t.key(), 10);
+  EXPECT_EQ(t.birth(), 5u);
+  EXPECT_TRUE(t.fresh());
+  EXPECT_TRUE(t.streams().Contains(2));
+  EXPECT_TRUE(t.ContainsSeq(99));
+  EXPECT_FALSE(t.ContainsSeq(98));
+}
+
+TEST(TupleTest, ConcatKeepsPartsSortedByStream) {
+  Tuple a = Tuple::FromBase(MakeBase(3, 7, 1), 1, true);
+  Tuple b = Tuple::FromBase(MakeBase(1, 7, 2), 1, true);
+  Tuple c = Tuple::Concat(a, b, 2, false);
+  ASSERT_EQ(c.parts().size(), 2u);
+  EXPECT_EQ(c.parts()[0].stream, 1);
+  EXPECT_EQ(c.parts()[1].stream, 3);
+  EXPECT_EQ(c.birth(), 2u);
+  EXPECT_FALSE(c.fresh());
+  EXPECT_EQ(c.streams().size(), 2);
+}
+
+TEST(TupleTest, IdentityIndependentOfJoinOrder) {
+  Tuple a = Tuple::FromBase(MakeBase(0, 7, 10), 1, true);
+  Tuple b = Tuple::FromBase(MakeBase(1, 7, 11), 1, true);
+  Tuple c = Tuple::FromBase(MakeBase(2, 7, 12), 1, true);
+  Tuple ab_c = Tuple::Concat(Tuple::Concat(a, b, 1, true), c, 1, true);
+  Tuple a_cb = Tuple::Concat(a, Tuple::Concat(c, b, 1, true), 1, true);
+  EXPECT_TRUE(ab_c == a_cb);
+  EXPECT_EQ(ab_c.IdentityHash(), a_cb.IdentityHash());
+}
+
+TEST(TupleTest, DifferentPartsDiffer) {
+  Tuple a = Tuple::FromBase(MakeBase(0, 7, 10), 1, true);
+  Tuple b = Tuple::FromBase(MakeBase(0, 7, 11), 1, true);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.IdentityHash(), b.IdentityHash());
+}
+
+TEST(TupleTest, ToStringMentionsParts) {
+  Tuple a = Tuple::FromBase(MakeBase(0, 7, 10), 1, true);
+  EXPECT_NE(a.ToString().find("S0#10"), std::string::npos);
+}
+
+TEST(SchemaTest, SyntheticNamesAndRender) {
+  Schema s = Schema::Synthetic(3);
+  EXPECT_EQ(s.num_streams(), 3);
+  EXPECT_EQ(s.stream_name(1), "S1");
+  StreamSet set = StreamSet::Union(StreamSet::Single(0), StreamSet::Single(2));
+  EXPECT_EQ(s.Render(set), "{S0,S2}");
+}
+
+TEST(SchemaTest, CustomNames) {
+  Schema s;
+  ASSERT_TRUE(s.AddStream("R").ok());
+  ASSERT_TRUE(s.AddStream("T").ok());
+  EXPECT_EQ(s.Render(StreamSet::Union(StreamSet::Single(0),
+                                      StreamSet::Single(1))),
+            "{R,T}");
+}
+
+TEST(SchemaTest, RejectsTooManyStreams) {
+  Schema s;
+  for (int i = 0; i < kMaxStreams; ++i) {
+    ASSERT_TRUE(s.AddStream("x").ok());
+  }
+  EXPECT_FALSE(s.AddStream("overflow").ok());
+}
+
+}  // namespace
+}  // namespace jisc
