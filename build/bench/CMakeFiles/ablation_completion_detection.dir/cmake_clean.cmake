@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_completion_detection.dir/ablation_completion_detection.cc.o"
+  "CMakeFiles/ablation_completion_detection.dir/ablation_completion_detection.cc.o.d"
+  "ablation_completion_detection"
+  "ablation_completion_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_completion_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fresh_attempted.dir/ablation_fresh_attempted.cc.o"
+  "CMakeFiles/ablation_fresh_attempted.dir/ablation_fresh_attempted.cc.o.d"
+  "ablation_fresh_attempted"
+  "ablation_fresh_attempted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fresh_attempted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

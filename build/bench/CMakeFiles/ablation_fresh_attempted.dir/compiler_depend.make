@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_fresh_attempted.
+# This may be replaced when dependencies are built.

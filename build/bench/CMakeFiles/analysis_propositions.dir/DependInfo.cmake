@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/analysis_propositions.cc" "bench/CMakeFiles/analysis_propositions.dir/analysis_propositions.cc.o" "gcc" "bench/CMakeFiles/analysis_propositions.dir/analysis_propositions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/jisc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/eddy/CMakeFiles/jisc_eddy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jisc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/jisc_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jisc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reference/CMakeFiles/jisc_reference.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/jisc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/jisc_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/jisc_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/jisc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/jisc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jisc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_propositions.dir/analysis_propositions.cc.o"
+  "CMakeFiles/analysis_propositions.dir/analysis_propositions.cc.o.d"
+  "analysis_propositions"
+  "analysis_propositions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_propositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_migration_best.dir/fig07_migration_best.cc.o"
+  "CMakeFiles/fig07_migration_best.dir/fig07_migration_best.cc.o.d"
+  "fig07_migration_best"
+  "fig07_migration_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_migration_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_migration_worst.dir/fig08_migration_worst.cc.o"
+  "CMakeFiles/fig08_migration_worst.dir/fig08_migration_worst.cc.o.d"
+  "fig08_migration_worst"
+  "fig08_migration_worst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_migration_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_normal_operation.dir/fig09_normal_operation.cc.o"
+  "CMakeFiles/fig09_normal_operation.dir/fig09_normal_operation.cc.o.d"
+  "fig09_normal_operation"
+  "fig09_normal_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_normal_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

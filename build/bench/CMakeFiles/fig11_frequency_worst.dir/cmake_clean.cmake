@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_frequency_worst.dir/fig11_frequency_worst.cc.o"
+  "CMakeFiles/fig11_frequency_worst.dir/fig11_frequency_worst.cc.o.d"
+  "fig11_frequency_worst"
+  "fig11_frequency_worst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_frequency_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

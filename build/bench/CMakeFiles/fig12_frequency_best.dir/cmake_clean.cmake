@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_frequency_best.dir/fig12_frequency_best.cc.o"
+  "CMakeFiles/fig12_frequency_best.dir/fig12_frequency_best.cc.o.d"
+  "fig12_frequency_best"
+  "fig12_frequency_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_frequency_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

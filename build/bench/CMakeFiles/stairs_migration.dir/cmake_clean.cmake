@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stairs_migration.dir/stairs_migration.cc.o"
+  "CMakeFiles/stairs_migration.dir/stairs_migration.cc.o.d"
+  "stairs_migration"
+  "stairs_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stairs_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

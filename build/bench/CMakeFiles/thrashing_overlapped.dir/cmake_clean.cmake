@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrashing_overlapped.dir/thrashing_overlapped.cc.o"
+  "CMakeFiles/thrashing_overlapped.dir/thrashing_overlapped.cc.o.d"
+  "thrashing_overlapped"
+  "thrashing_overlapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrashing_overlapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

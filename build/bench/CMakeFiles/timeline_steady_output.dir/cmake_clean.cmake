@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_steady_output.dir/timeline_steady_output.cc.o"
+  "CMakeFiles/timeline_steady_output.dir/timeline_steady_output.cc.o.d"
+  "timeline_steady_output"
+  "timeline_steady_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_steady_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

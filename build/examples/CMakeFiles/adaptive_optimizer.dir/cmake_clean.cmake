@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_optimizer.dir/adaptive_optimizer.cpp.o"
+  "CMakeFiles/adaptive_optimizer.dir/adaptive_optimizer.cpp.o.d"
+  "adaptive_optimizer"
+  "adaptive_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

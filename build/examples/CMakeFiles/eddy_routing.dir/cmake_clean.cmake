@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddy_routing.dir/eddy_routing.cpp.o"
+  "CMakeFiles/eddy_routing.dir/eddy_routing.cpp.o.d"
+  "eddy_routing"
+  "eddy_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddy_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

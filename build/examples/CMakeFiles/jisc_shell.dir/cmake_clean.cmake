@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_shell.dir/jisc_shell.cpp.o"
+  "CMakeFiles/jisc_shell.dir/jisc_shell.cpp.o.d"
+  "jisc_shell"
+  "jisc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

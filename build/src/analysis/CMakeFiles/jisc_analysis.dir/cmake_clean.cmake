@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_analysis.dir/complete_states_model.cc.o"
+  "CMakeFiles/jisc_analysis.dir/complete_states_model.cc.o.d"
+  "libjisc_analysis.a"
+  "libjisc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_common.dir/env.cc.o"
+  "CMakeFiles/jisc_common.dir/env.cc.o.d"
+  "CMakeFiles/jisc_common.dir/logging.cc.o"
+  "CMakeFiles/jisc_common.dir/logging.cc.o.d"
+  "CMakeFiles/jisc_common.dir/random.cc.o"
+  "CMakeFiles/jisc_common.dir/random.cc.o.d"
+  "CMakeFiles/jisc_common.dir/sketch.cc.o"
+  "CMakeFiles/jisc_common.dir/sketch.cc.o.d"
+  "CMakeFiles/jisc_common.dir/stats.cc.o"
+  "CMakeFiles/jisc_common.dir/stats.cc.o.d"
+  "CMakeFiles/jisc_common.dir/status.cc.o"
+  "CMakeFiles/jisc_common.dir/status.cc.o.d"
+  "libjisc_common.a"
+  "libjisc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

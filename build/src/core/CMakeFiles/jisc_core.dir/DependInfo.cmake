@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/jisc_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/jisc_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/completion_tracker.cc" "src/core/CMakeFiles/jisc_core.dir/completion_tracker.cc.o" "gcc" "src/core/CMakeFiles/jisc_core.dir/completion_tracker.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/jisc_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/jisc_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/jisc_runtime.cc" "src/core/CMakeFiles/jisc_core.dir/jisc_runtime.cc.o" "gcc" "src/core/CMakeFiles/jisc_core.dir/jisc_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/jisc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/jisc_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/jisc_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/jisc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/jisc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jisc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

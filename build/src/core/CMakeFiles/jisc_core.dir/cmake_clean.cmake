@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_core.dir/checkpoint.cc.o"
+  "CMakeFiles/jisc_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/jisc_core.dir/completion_tracker.cc.o"
+  "CMakeFiles/jisc_core.dir/completion_tracker.cc.o.d"
+  "CMakeFiles/jisc_core.dir/engine.cc.o"
+  "CMakeFiles/jisc_core.dir/engine.cc.o.d"
+  "CMakeFiles/jisc_core.dir/jisc_runtime.cc.o"
+  "CMakeFiles/jisc_core.dir/jisc_runtime.cc.o.d"
+  "libjisc_core.a"
+  "libjisc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eddy/cacq.cc" "src/eddy/CMakeFiles/jisc_eddy.dir/cacq.cc.o" "gcc" "src/eddy/CMakeFiles/jisc_eddy.dir/cacq.cc.o.d"
+  "/root/repo/src/eddy/mjoin.cc" "src/eddy/CMakeFiles/jisc_eddy.dir/mjoin.cc.o" "gcc" "src/eddy/CMakeFiles/jisc_eddy.dir/mjoin.cc.o.d"
+  "/root/repo/src/eddy/stairs.cc" "src/eddy/CMakeFiles/jisc_eddy.dir/stairs.cc.o" "gcc" "src/eddy/CMakeFiles/jisc_eddy.dir/stairs.cc.o.d"
+  "/root/repo/src/eddy/stem.cc" "src/eddy/CMakeFiles/jisc_eddy.dir/stem.cc.o" "gcc" "src/eddy/CMakeFiles/jisc_eddy.dir/stem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/jisc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/jisc_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/jisc_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/jisc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/jisc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jisc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_eddy.dir/cacq.cc.o"
+  "CMakeFiles/jisc_eddy.dir/cacq.cc.o.d"
+  "CMakeFiles/jisc_eddy.dir/mjoin.cc.o"
+  "CMakeFiles/jisc_eddy.dir/mjoin.cc.o.d"
+  "CMakeFiles/jisc_eddy.dir/stairs.cc.o"
+  "CMakeFiles/jisc_eddy.dir/stairs.cc.o.d"
+  "CMakeFiles/jisc_eddy.dir/stem.cc.o"
+  "CMakeFiles/jisc_eddy.dir/stem.cc.o.d"
+  "libjisc_eddy.a"
+  "libjisc_eddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_eddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/explain.cc" "src/exec/CMakeFiles/jisc_exec.dir/explain.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/explain.cc.o.d"
+  "/root/repo/src/exec/metrics.cc" "src/exec/CMakeFiles/jisc_exec.dir/metrics.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/metrics.cc.o.d"
+  "/root/repo/src/exec/nested_loops_join.cc" "src/exec/CMakeFiles/jisc_exec.dir/nested_loops_join.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/nested_loops_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/jisc_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/pipeline_executor.cc" "src/exec/CMakeFiles/jisc_exec.dir/pipeline_executor.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/pipeline_executor.cc.o.d"
+  "/root/repo/src/exec/semi_join.cc" "src/exec/CMakeFiles/jisc_exec.dir/semi_join.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/semi_join.cc.o.d"
+  "/root/repo/src/exec/set_difference.cc" "src/exec/CMakeFiles/jisc_exec.dir/set_difference.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/set_difference.cc.o.d"
+  "/root/repo/src/exec/sink.cc" "src/exec/CMakeFiles/jisc_exec.dir/sink.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/sink.cc.o.d"
+  "/root/repo/src/exec/stream_scan.cc" "src/exec/CMakeFiles/jisc_exec.dir/stream_scan.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/stream_scan.cc.o.d"
+  "/root/repo/src/exec/symmetric_hash_join.cc" "src/exec/CMakeFiles/jisc_exec.dir/symmetric_hash_join.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/symmetric_hash_join.cc.o.d"
+  "/root/repo/src/exec/validate.cc" "src/exec/CMakeFiles/jisc_exec.dir/validate.cc.o" "gcc" "src/exec/CMakeFiles/jisc_exec.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/jisc_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/jisc_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/jisc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/jisc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jisc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_exec.dir/explain.cc.o"
+  "CMakeFiles/jisc_exec.dir/explain.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/metrics.cc.o"
+  "CMakeFiles/jisc_exec.dir/metrics.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/nested_loops_join.cc.o"
+  "CMakeFiles/jisc_exec.dir/nested_loops_join.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/operator.cc.o"
+  "CMakeFiles/jisc_exec.dir/operator.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/pipeline_executor.cc.o"
+  "CMakeFiles/jisc_exec.dir/pipeline_executor.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/semi_join.cc.o"
+  "CMakeFiles/jisc_exec.dir/semi_join.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/set_difference.cc.o"
+  "CMakeFiles/jisc_exec.dir/set_difference.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/sink.cc.o"
+  "CMakeFiles/jisc_exec.dir/sink.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/stream_scan.cc.o"
+  "CMakeFiles/jisc_exec.dir/stream_scan.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/symmetric_hash_join.cc.o"
+  "CMakeFiles/jisc_exec.dir/symmetric_hash_join.cc.o.d"
+  "CMakeFiles/jisc_exec.dir/validate.cc.o"
+  "CMakeFiles/jisc_exec.dir/validate.cc.o.d"
+  "libjisc_exec.a"
+  "libjisc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjisc_exec.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_migration.dir/hybrid_track.cc.o"
+  "CMakeFiles/jisc_migration.dir/hybrid_track.cc.o.d"
+  "CMakeFiles/jisc_migration.dir/moving_state.cc.o"
+  "CMakeFiles/jisc_migration.dir/moving_state.cc.o.d"
+  "CMakeFiles/jisc_migration.dir/parallel_track.cc.o"
+  "CMakeFiles/jisc_migration.dir/parallel_track.cc.o.d"
+  "CMakeFiles/jisc_migration.dir/state_materializer.cc.o"
+  "CMakeFiles/jisc_migration.dir/state_materializer.cc.o.d"
+  "libjisc_migration.a"
+  "libjisc_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/jisc_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/jisc_plan.dir/plan_diff.cc.o"
+  "CMakeFiles/jisc_plan.dir/plan_diff.cc.o.d"
+  "CMakeFiles/jisc_plan.dir/plan_text.cc.o"
+  "CMakeFiles/jisc_plan.dir/plan_text.cc.o.d"
+  "CMakeFiles/jisc_plan.dir/transitions.cc.o"
+  "CMakeFiles/jisc_plan.dir/transitions.cc.o.d"
+  "libjisc_plan.a"
+  "libjisc_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_reference.dir/naive_reference.cc.o"
+  "CMakeFiles/jisc_reference.dir/naive_reference.cc.o.d"
+  "libjisc_reference.a"
+  "libjisc_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

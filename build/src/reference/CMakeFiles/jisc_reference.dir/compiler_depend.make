@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jisc_reference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_state.dir/operator_state.cc.o"
+  "CMakeFiles/jisc_state.dir/operator_state.cc.o.d"
+  "libjisc_state.a"
+  "libjisc_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/synthetic_source.cc" "src/stream/CMakeFiles/jisc_stream.dir/synthetic_source.cc.o" "gcc" "src/stream/CMakeFiles/jisc_stream.dir/synthetic_source.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/stream/CMakeFiles/jisc_stream.dir/window.cc.o" "gcc" "src/stream/CMakeFiles/jisc_stream.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/jisc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jisc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

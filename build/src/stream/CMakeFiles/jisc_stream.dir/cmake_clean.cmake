@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_stream.dir/synthetic_source.cc.o"
+  "CMakeFiles/jisc_stream.dir/synthetic_source.cc.o.d"
+  "CMakeFiles/jisc_stream.dir/window.cc.o"
+  "CMakeFiles/jisc_stream.dir/window.cc.o.d"
+  "libjisc_stream.a"
+  "libjisc_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_types.dir/schema.cc.o"
+  "CMakeFiles/jisc_types.dir/schema.cc.o.d"
+  "CMakeFiles/jisc_types.dir/tuple.cc.o"
+  "CMakeFiles/jisc_types.dir/tuple.cc.o.d"
+  "libjisc_types.a"
+  "libjisc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

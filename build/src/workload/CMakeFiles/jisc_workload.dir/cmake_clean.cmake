@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_workload.dir/adaptive.cc.o"
+  "CMakeFiles/jisc_workload.dir/adaptive.cc.o.d"
+  "CMakeFiles/jisc_workload.dir/factory.cc.o"
+  "CMakeFiles/jisc_workload.dir/factory.cc.o.d"
+  "CMakeFiles/jisc_workload.dir/runner.cc.o"
+  "CMakeFiles/jisc_workload.dir/runner.cc.o.d"
+  "libjisc_workload.a"
+  "libjisc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

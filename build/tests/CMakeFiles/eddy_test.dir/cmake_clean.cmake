@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddy_test.dir/eddy_test.cc.o"
+  "CMakeFiles/eddy_test.dir/eddy_test.cc.o.d"
+  "eddy_test"
+  "eddy_test.pdb"
+  "eddy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jisc_test.dir/jisc_test.cc.o"
+  "CMakeFiles/jisc_test.dir/jisc_test.cc.o.d"
+  "jisc_test"
+  "jisc_test.pdb"
+  "jisc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jisc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plantext_test.dir/plantext_test.cc.o"
+  "CMakeFiles/plantext_test.dir/plantext_test.cc.o.d"
+  "plantext_test"
+  "plantext_test.pdb"
+  "plantext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plantext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setdiff_test.dir/setdiff_test.cc.o"
+  "CMakeFiles/setdiff_test.dir/setdiff_test.cc.o.d"
+  "setdiff_test"
+  "setdiff_test.pdb"
+  "setdiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setdiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
