@@ -1,0 +1,114 @@
+#ifndef JISC_COMMON_BOUNDED_QUEUE_H_
+#define JISC_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+// Bounded blocking multi-producer / multi-consumer queue. The parallel
+// execution engine uses it wherever more than one thread may produce into
+// the same channel (worker -> coordinator acknowledgements); the
+// single-producer shard feeds use SpscQueue instead.
+//
+// Backpressure: Push blocks while the queue is full. Shutdown/drain
+// protocol: Close() wakes every waiter; subsequent Push calls are rejected,
+// while Pop keeps returning buffered items until the queue is empty and
+// only then reports exhaustion. This makes "close, then join the consumer"
+// a loss-free drain.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    JISC_CHECK(capacity_ >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full. Returns false (and drops `v`) if the queue was
+  // closed before space became available.
+  bool Push(T v) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false when full or closed.
+  bool TryPush(T& v) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty and open. Returns false only when the queue is
+  // closed AND fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; false when nothing is buffered.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_BOUNDED_QUEUE_H_

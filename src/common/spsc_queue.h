@@ -1,0 +1,156 @@
+#ifndef JISC_COMMON_SPSC_QUEUE_H_
+#define JISC_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+// Bounded single-producer / single-consumer ring buffer. The hot path
+// (TryPush/TryPop) is lock-free: head and tail are published with
+// release/acquire pairs, so exactly one producer thread and one consumer
+// thread may use the queue concurrently. The parallel execution engine uses
+// one per shard as the coordinator -> worker feed.
+//
+// The blocking wrappers (Push/Pop) implement backpressure: they spin
+// briefly, then park on a condition variable with a short timeout. Timed
+// waits make the sleep path immune to missed-wakeup races without an
+// elaborate eventcount protocol; the unconditional notify on the opposite
+// transition keeps the common case prompt.
+//
+// Shutdown/drain: Close() rejects further pushes and wakes waiters; Pop
+// keeps draining buffered items and reports exhaustion only once the ring
+// is empty.
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. False when full or closed (v is left intact when full).
+  bool TryPush(T& v) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    buf_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    MaybeNotify();
+    return true;
+  }
+
+  // Consumer side. False when nothing is buffered.
+  bool TryPop(T* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    *out = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    MaybeNotify();
+    return true;
+  }
+
+  // Blocks while full (backpressure). False if the queue is closed.
+  bool Push(T v) {
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (TryPush(v)) return true;
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiters_;
+    for (;;) {
+      if (TryPush(v)) break;
+      if (closed_.load(std::memory_order_relaxed)) {
+        --waiters_;
+        return false;
+      }
+      cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+    --waiters_;
+    return true;
+  }
+
+  // Blocks while empty and open. False when closed and fully drained.
+  bool Pop(T* out) {
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: items pushed before Close() must still drain.
+        return TryPop(out);
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiters_;
+    for (;;) {
+      if (TryPop(out)) break;
+      if (closed_.load(std::memory_order_acquire)) {
+        --waiters_;
+        return TryPop(out);
+      }
+      cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+    --waiters_;
+    return true;
+  }
+
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // Approximate (racy) fill level; exact when both sides are quiescent.
+  size_t SizeApprox() const {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static constexpr int kSpins = 128;
+
+  void MaybeNotify() {
+    // waiters_ is only mutated under mu_; a racy read that misses a waiter
+    // is healed by that waiter's 1ms wait timeout.
+    if (waiters_.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  std::vector<T> buf_;
+  size_t mask_ = 1;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+  std::atomic<bool> closed_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<int> waiters_{0};
+};
+
+}  // namespace jisc
+
+#endif  // JISC_COMMON_SPSC_QUEUE_H_

@@ -50,6 +50,21 @@ void Engine::Admit(const BaseTuple& tuple) {
   exec_->RunUntilIdle();
 }
 
+void Engine::PushExpiry(const BaseTuple& tuple) {
+  if (!buffer_.empty()) Drain();
+  // One external event, like an arrival: the removal cascade runs to
+  // quiescence under its own stamp. Counted toward the maintain cadence so
+  // sharded JISC engines still sweep completion detection under expiry-
+  // heavy phases.
+  Stamp stamp = AllocateStamp();
+  exec_->PushExpiry(tuple, stamp);
+  exec_->RunUntilIdle();
+  if (++events_since_maintain_ >= options_.maintain_period) {
+    events_since_maintain_ = 0;
+    strategy_->Maintain(this);
+  }
+}
+
 void Engine::PushNoDrain(const BaseTuple& tuple) {
   if (options_.max_buffered_arrivals > 0 &&
       buffer_.size() >= options_.max_buffered_arrivals) {

@@ -36,6 +36,13 @@ class Engine : public StreamProcessor {
     // standard drop-newest policy): when the buffered-arrival queue exceeds
     // this bound, PushNoDrain drops the arrival and counts it. 0 = never.
     size_t max_buffered_arrivals = 0;
+    // Number of hash-partitioned worker shards. The Engine itself is always
+    // single-threaded; MakeEngineProcessor (core/parallel_engine.h) reads
+    // this knob and routes through the sharded ParallelExecutor when it is
+    // greater than one, with single-shard engines as the building block and
+    // the single-threaded path (parallelism <= 1) as the default and the
+    // equivalence oracle.
+    int parallelism = 1;
   };
 
   Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
@@ -46,6 +53,9 @@ class Engine : public StreamProcessor {
   // --- StreamProcessor ---
   std::string name() const override { return strategy_->name(); }
   void Push(const BaseTuple& tuple) override;
+  // External-expiry mode only (exec.external_expiry): one expiry event,
+  // processed to quiescence like an arrival.
+  void PushExpiry(const BaseTuple& tuple) override;
   Status RequestTransition(const LogicalPlan& new_plan) override;
   const Metrics& metrics() const override { return metrics_; }
   uint64_t StateMemory() const override;

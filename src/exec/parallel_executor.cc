@@ -1,0 +1,205 @@
+#include "exec/parallel_executor.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace jisc {
+
+ParallelExecutor::ParallelExecutor(const LogicalPlan& plan,
+                                   const WindowSpec& windows, Sink* sink,
+                                   ShardFactory factory, Options options)
+    : options_(options),
+      windows_(windows),
+      acks_(static_cast<size_t>(options.num_shards > 0 ? options.num_shards
+                                                       : 1)),
+      live_(static_cast<size_t>(windows.num_streams())) {
+  JISC_CHECK(options_.num_shards >= 1);
+  JISC_CHECK(options_.batch_size >= 1);
+  Status shardable = ValidateShardable(plan);
+  JISC_CHECK(shardable.ok()) << shardable.ToString();
+  if (sink != nullptr) {
+    locked_sink_ = std::make_unique<LockedSink>(sink);
+  }
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    shard->processor = factory(locked_sink_.get(), i);
+    JISC_CHECK(shard->processor != nullptr);
+    shard->pending.reserve(options_.batch_size);
+    shards_.push_back(std::move(shard));
+  }
+  name_ = "parallel-" + std::to_string(options_.num_shards) + "x-" +
+          shards_[0]->processor->name();
+  // Workers start only after every shard is fully constructed: the shard
+  // vector is immutable (and safely published) from here on.
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  FlushAll();
+  for (auto& s : shards_) s->feed.Close();
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  acks_.Close();
+}
+
+Status ParallelExecutor::ValidateShardable(const LogicalPlan& plan) {
+  Status valid = plan.Validate();
+  if (!valid.ok()) return valid;
+  for (int id = 0; id < plan.num_nodes(); ++id) {
+    if (plan.node(id).kind == OpKind::kNljJoin) {
+      return Status::InvalidArgument(
+          "theta (nested-loops) plans match across key boundaries and "
+          "cannot be hash-partitioned");
+    }
+  }
+  return Status::Ok();
+}
+
+int ParallelExecutor::OwnerShard(JoinKey key) const {
+  return static_cast<int>(MixU64(static_cast<uint64_t>(key)) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+void ParallelExecutor::Enqueue(int shard, ShardEvent ev) {
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  s.pending.push_back(std::move(ev));
+  if (s.pending.size() >= options_.batch_size) FlushShard(s);
+}
+
+void ParallelExecutor::FlushShard(Shard& s) {
+  if (s.pending.empty()) return;
+  EventBatch batch;
+  batch.reserve(options_.batch_size);
+  batch.swap(s.pending);
+  bool pushed = s.feed.Push(std::move(batch));
+  JISC_CHECK(pushed) << "shard feed closed while pushing";
+}
+
+void ParallelExecutor::FlushAll() {
+  for (auto& s : shards_) FlushShard(*s);
+}
+
+void ParallelExecutor::Push(const BaseTuple& tuple) {
+  JISC_CHECK(tuple.stream < live_.size());
+  std::deque<BaseTuple>& window = live_[tuple.stream];
+  // Global window slide: same trigger as StreamScan::OnArrival, but the
+  // displaced tuple's expiry is routed to the shard that owns it, ahead of
+  // the arrival (same-key expiry and arrival share a shard, so the
+  // "removal before displacing arrival" invariant survives sharding).
+  uint64_t size = windows_.SizeFor(tuple.stream);
+  if (windows_.time_based()) {
+    while (!window.empty() && window.front().ts + size <= tuple.ts) {
+      ShardEvent ev;
+      ev.kind = ShardEvent::Kind::kExpire;
+      ev.base = window.front();
+      Enqueue(OwnerShard(ev.base.key), std::move(ev));
+      window.pop_front();
+    }
+  } else if (window.size() >= size) {
+    ShardEvent ev;
+    ev.kind = ShardEvent::Kind::kExpire;
+    ev.base = window.front();
+    Enqueue(OwnerShard(ev.base.key), std::move(ev));
+    window.pop_front();
+  }
+  window.push_back(tuple);
+  ShardEvent ev;
+  ev.kind = ShardEvent::Kind::kArrival;
+  ev.base = tuple;
+  Enqueue(OwnerShard(tuple.key), std::move(ev));
+}
+
+Status ParallelExecutor::BroadcastAndWait(const ShardEvent& ev) {
+  FlushAll();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    EventBatch batch;
+    batch.push_back(ev);
+    bool pushed = shards_[i]->feed.Push(std::move(batch));
+    JISC_CHECK(pushed) << "shard feed closed during broadcast";
+  }
+  Status first_error;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Ack ack;
+    bool ok = acks_.Pop(&ack);
+    JISC_CHECK(ok) << "ack queue closed while waiting for shards";
+    if (!ack.status.ok() && first_error.ok()) first_error = ack.status;
+  }
+  return first_error;
+}
+
+Status ParallelExecutor::RequestTransition(const LogicalPlan& new_plan) {
+  Status shardable = ValidateShardable(new_plan);
+  if (!shardable.ok()) return shardable;
+  ShardEvent ev;
+  ev.kind = ShardEvent::Kind::kTransition;
+  ev.plan = std::make_shared<const LogicalPlan>(new_plan);
+  // Broadcast at the same point of every shard's event sequence: each
+  // shard's transition separates exactly the globally pre-transition
+  // arrivals from post-transition ones, so per-shard freshness (Def. 2)
+  // and completion (Section 4.3) see the same old/new split as the
+  // single-threaded engine.
+  return BroadcastAndWait(ev);
+}
+
+void ParallelExecutor::Barrier() {
+  ShardEvent ev;
+  ev.kind = ShardEvent::Kind::kBarrier;
+  Status s = BroadcastAndWait(ev);
+  JISC_CHECK(s.ok()) << s.ToString();
+}
+
+const Metrics& ParallelExecutor::metrics() const {
+  const_cast<ParallelExecutor*>(this)->Barrier();
+  agg_metrics_.Reset();
+  for (const auto& s : shards_) agg_metrics_ += s->processor->metrics();
+  return agg_metrics_;
+}
+
+uint64_t ParallelExecutor::StateMemory() const {
+  const_cast<ParallelExecutor*>(this)->Barrier();
+  uint64_t bytes = 0;
+  for (const auto& s : shards_) bytes += s->processor->StateMemory();
+  return bytes;
+}
+
+void ParallelExecutor::WorkerLoop(int shard_index) {
+  Shard& s = *shards_[static_cast<size_t>(shard_index)];
+  StreamProcessor* proc = s.processor.get();
+  EventBatch batch;
+  while (s.feed.Pop(&batch)) {
+    for (ShardEvent& ev : batch) {
+      switch (ev.kind) {
+        case ShardEvent::Kind::kArrival:
+          proc->Push(ev.base);
+          break;
+        case ShardEvent::Kind::kExpire:
+          proc->PushExpiry(ev.base);
+          break;
+        case ShardEvent::Kind::kTransition: {
+          Ack ack;
+          ack.shard = shard_index;
+          ack.status = proc->RequestTransition(*ev.plan);
+          bool pushed = acks_.Push(std::move(ack));
+          JISC_CHECK(pushed);
+          break;
+        }
+        case ShardEvent::Kind::kBarrier: {
+          Ack ack;
+          ack.shard = shard_index;
+          bool pushed = acks_.Push(std::move(ack));
+          JISC_CHECK(pushed);
+          break;
+        }
+      }
+    }
+    batch.clear();
+  }
+}
+
+}  // namespace jisc

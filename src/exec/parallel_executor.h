@@ -1,0 +1,148 @@
+#ifndef JISC_EXEC_PARALLEL_EXECUTOR_H_
+#define JISC_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/spsc_queue.h"
+#include "common/status.h"
+#include "exec/sink.h"
+#include "exec/stream_processor.h"
+#include "stream/window.h"
+
+namespace jisc {
+
+// Hash-partitioned parallel execution engine.
+//
+// Tuples are sharded by join-attribute hash across N workers; each worker
+// runs an independent single-threaded StreamProcessor (an Engine in
+// external-expiry mode) over its partition of the operator states. Because
+// every operator of a shardable plan matches on join-key equality, a result
+// combination's parts all carry one key and live entirely inside one shard,
+// so the union of the shards' outputs equals the single-threaded engine's
+// output multiset — the single-threaded path remains the equivalence
+// oracle.
+//
+// Windows are the one global construct: a count window of W holds the
+// stream's last W tuples *across all shards*. The coordinator (the thread
+// calling Push) therefore keeps its own per-stream window bookkeeping,
+// decides which tuple every arrival displaces, and sends that tuple's owner
+// shard an explicit expiry event ahead of the arrival — preserving the
+// single-threaded engine's invariant that a displaced tuple's expiry is
+// processed before the tuple that displaced it. Same-key tuples share a
+// shard, so all orderings that can affect the output are preserved; events
+// on different keys commute.
+//
+// JISC migration works unchanged per shard: RequestTransition is broadcast,
+// each shard carries over its own complete states and lazily completes
+// incomplete ones — the per-value completion protocol of Section 4 never
+// crosses a key boundary, hence never crosses a shard boundary.
+//
+// Threading/queues: each shard is fed through a bounded single-producer
+// queue with blocking backpressure (the coordinator is the only producer);
+// workers acknowledge control events (transition/barrier) through a shared
+// bounded MPSC queue. Shutdown closes every feed and joins the workers
+// after they drain.
+//
+// The public StreamProcessor surface must be driven by ONE thread (the
+// coordinator); Push is asynchronous (it returns once the event is
+// enqueued), and metrics()/StateMemory() quiesce all shards first.
+class ParallelExecutor : public StreamProcessor {
+ public:
+  struct Options {
+    int num_shards = 4;
+    // Shard feed capacity in batches; the producer blocks when full.
+    size_t queue_capacity = 256;
+    // Events accumulated per shard before a queue hand-off.
+    size_t batch_size = 64;
+  };
+
+  // Builds the worker for one shard. `shard_sink` delivers the shard's
+  // outputs (already safe for concurrent use); the returned processor must
+  // support PushExpiry (external-expiry mode).
+  using ShardFactory =
+      std::function<std::unique_ptr<StreamProcessor>(Sink* shard_sink,
+                                                     int shard)>;
+
+  // `sink` is the downstream consumer of the merged output stream; it is
+  // wrapped in an internal LockedSink shared by all shards. Pass nullptr
+  // when the factory wires its own (per-shard) sinks.
+  ParallelExecutor(const LogicalPlan& plan, const WindowSpec& windows,
+                   Sink* sink, ShardFactory factory, Options options);
+  ~ParallelExecutor() override;
+
+  // True when every stateful operator matches on join-key equality, the
+  // property key-partitioning relies on (theta/NLJ plans are not
+  // shardable).
+  static Status ValidateShardable(const LogicalPlan& plan);
+
+  // --- StreamProcessor ---
+  std::string name() const override { return name_; }
+  void Push(const BaseTuple& tuple) override;
+  Status RequestTransition(const LogicalPlan& new_plan) override;
+  // Quiesces all shards, then returns the merged per-shard counters.
+  const Metrics& metrics() const override;
+  uint64_t StateMemory() const override;
+
+  // Flushes every pending batch and blocks until all shards have processed
+  // everything enqueued so far. The output sink is fully caught up on
+  // return.
+  void Barrier();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  StreamProcessor* shard(int i) { return shards_[i]->processor.get(); }
+
+ private:
+  struct ShardEvent {
+    enum class Kind : uint8_t { kArrival, kExpire, kTransition, kBarrier };
+    Kind kind = Kind::kArrival;
+    BaseTuple base;
+    std::shared_ptr<const LogicalPlan> plan;  // kTransition only
+  };
+  using EventBatch = std::vector<ShardEvent>;
+
+  struct Ack {
+    int shard = -1;
+    Status status;
+  };
+
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : feed(queue_capacity) {}
+    SpscQueue<EventBatch> feed;  // coordinator -> worker (single producer)
+    std::unique_ptr<StreamProcessor> processor;
+    EventBatch pending;  // coordinator-side batch under construction
+    std::thread thread;
+  };
+
+  int OwnerShard(JoinKey key) const;
+  void Enqueue(int shard, ShardEvent ev);
+  void FlushShard(Shard& s);
+  void FlushAll();
+  // Broadcasts a control event and waits for every shard's ack; returns the
+  // first non-OK status.
+  Status BroadcastAndWait(const ShardEvent& ev);
+  void WorkerLoop(int shard_index);
+
+  Options options_;
+  WindowSpec windows_;
+  std::string name_;
+  std::unique_ptr<LockedSink> locked_sink_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  BoundedQueue<Ack> acks_;  // workers -> coordinator (multi-producer)
+
+  // Coordinator-side global window bookkeeping, one deque per stream
+  // (count mode holds the live tuples; time mode likewise, pruned by ts).
+  std::vector<std::deque<BaseTuple>> live_;
+
+  mutable Metrics agg_metrics_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_PARALLEL_EXECUTOR_H_

@@ -24,7 +24,8 @@ PipelineExecutor::PipelineExecutor(const LogicalPlan& plan,
       case OpKind::kScan:
         op = std::make_unique<StreamScan>(id, n.stream,
                                           windows_.SizeFor(n.stream),
-                                          windows_.mode());
+                                          windows_.mode(),
+                                          options_.external_expiry);
         break;
       case OpKind::kHashJoin:
         op = std::make_unique<SymmetricHashJoin>(id, n.streams);
@@ -95,6 +96,17 @@ void PipelineExecutor::PushArrival(const BaseTuple& base, Stamp stamp) {
   m.base = base;
   s->Enqueue(std::move(m));
   if (ctx_.metrics != nullptr) ++ctx_.metrics->arrivals;
+}
+
+void PipelineExecutor::PushExpiry(const BaseTuple& base, Stamp stamp) {
+  JISC_CHECK(options_.external_expiry);
+  StreamScan* s = scan(base.stream);
+  JISC_CHECK(s != nullptr) << "no scan for stream " << base.stream;
+  Message m;
+  m.kind = Message::Kind::kRemoval;
+  m.stamp = stamp;
+  m.base = base;
+  s->Enqueue(std::move(m));
 }
 
 void PipelineExecutor::RunUntilIdle() {

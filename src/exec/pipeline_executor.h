@@ -21,7 +21,15 @@ namespace jisc {
 class PipelineExecutor {
  public:
   struct Options {
+    // Constructor (not a default member initializer) so the enclosing
+    // class can use `= Options()` as a default argument under GCC.
+    Options() : external_expiry(false) {}
+
     ThetaSpec theta;  // predicate for kNljJoin operators
+    // Sharded execution: scans never slide their windows on their own;
+    // the shard coordinator delivers explicit expiry events (PushExpiry)
+    // computed from the global arrival sequence.
+    bool external_expiry;
   };
 
   // Builds the operator tree. States whose identity matches an entry in
@@ -48,6 +56,11 @@ class PipelineExecutor {
 
   // Enqueues a base tuple at its stream's scan (does not process).
   void PushArrival(const BaseTuple& base, Stamp stamp);
+
+  // External-expiry mode only: enqueues an expiry of `base` at its stream's
+  // scan (does not process). `base` must be the oldest live tuple of its
+  // stream on this executor.
+  void PushExpiry(const BaseTuple& base, Stamp stamp);
 
   // Drains every operator queue, then vacuums tombstoned state entries.
   void RunUntilIdle();

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <map>
 #include <unordered_map>
@@ -157,6 +158,28 @@ class TopKeysSink : public Sink {
 
  private:
   std::unordered_map<JoinKey, int64_t, I64Hash> counts_;
+};
+
+// Serializing adapter: makes any single-threaded sink safe to share across
+// the shards of a parallel executor. Deliveries are mutually excluded, so
+// the downstream sink observes a linearized output stream (ordering across
+// shards is unspecified; within a shard it is preserved).
+class LockedSink : public Sink {
+ public:
+  explicit LockedSink(Sink* downstream) : downstream_(downstream) {}
+
+  void OnOutput(const Tuple& tuple, Stamp stamp) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    downstream_->OnOutput(tuple, stamp);
+  }
+  void OnRetract(const Tuple& tuple, Stamp stamp) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    downstream_->OnRetract(tuple, stamp);
+  }
+
+ private:
+  Sink* downstream_;
+  std::mutex mu_;
 };
 
 // Duplicate-eliminating sink used by the Parallel Track strategy: while

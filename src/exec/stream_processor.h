@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "exec/metrics.h"
 #include "plan/logical_plan.h"
@@ -22,6 +23,15 @@ class StreamProcessor {
 
   // Admits one base tuple and processes it to completion.
   virtual void Push(const BaseTuple& tuple) = 0;
+
+  // Sharded execution only: expires `tuple` from its stream's window now.
+  // The parallel executor's coordinator owns global window accounting and
+  // drives each shard's expiries explicitly; only processors built in
+  // external-expiry mode support this.
+  virtual void PushExpiry(const BaseTuple& tuple) {
+    (void)tuple;
+    JISC_CHECK(false) << name() << " does not support external expiry";
+  }
 
   // Switches execution to an equivalent plan (its join order is what
   // matters). For eddy-based processors this re-routes; for pipelined ones

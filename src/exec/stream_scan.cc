@@ -8,12 +8,13 @@
 namespace jisc {
 
 StreamScan::StreamScan(int node_id, StreamId stream, uint64_t window_size,
-                       WindowSpec::Mode mode)
+                       WindowSpec::Mode mode, bool external_expiry)
     : Operator(node_id, OpKind::kScan, StreamSet::Single(stream),
                StateIndex::kHash),
       stream_(stream),
       window_size_(window_size),
-      mode_(mode) {
+      mode_(mode),
+      external_expiry_(external_expiry) {
   JISC_CHECK(window_size_ >= 1);
 }
 
@@ -44,22 +45,16 @@ void StreamScan::OnArrival(const BaseTuple& base, ExecContext* ctx) {
   // (and propagated) before the new tuple is processed so that the new
   // tuple does not join with them. Count mode displaces at most one tuple;
   // time mode may expire several (everything with ts <= now - duration).
-  auto expire_front = [&]() {
-    BaseTuple oldest = window_.front();
-    window_.pop_front();
-    int n = state_->RemoveContaining(oldest.seq, oldest.key, ctx->stamp,
-                                     nullptr);
-    JISC_DCHECK(n == 1);
-    (void)n;
-    if (ctx->metrics != nullptr) ++ctx->metrics->removals;
-    EmitRemoval(oldest, ctx);
-  };
-  if (mode_ == WindowSpec::Mode::kCount) {
-    if (window_.size() >= window_size_) expire_front();
+  // In external-expiry mode the coordinator delivers expiries as removal
+  // messages ahead of the arrivals that displace them (see OnRemoval).
+  if (external_expiry_) {
+    // nothing: the window slides only on explicit expiry messages
+  } else if (mode_ == WindowSpec::Mode::kCount) {
+    if (window_.size() >= window_size_) ExpireFront(ctx);
   } else {
     while (!window_.empty() &&
            window_.front().ts + window_size_ <= base.ts) {
-      expire_front();
+      ExpireFront(ctx);
     }
   }
   window_.push_back(base);
@@ -73,12 +68,30 @@ void StreamScan::OnArrival(const BaseTuple& base, ExecContext* ctx) {
   EmitData(std::move(t), ctx);
 }
 
+void StreamScan::ExpireFront(ExecContext* ctx) {
+  BaseTuple oldest = window_.front();
+  window_.pop_front();
+  int n = state_->RemoveContaining(oldest.seq, oldest.key, ctx->stamp,
+                                   nullptr);
+  JISC_DCHECK(n == 1);
+  (void)n;
+  if (ctx->metrics != nullptr) ++ctx->metrics->removals;
+  EmitRemoval(oldest, ctx);
+}
+
 void StreamScan::OnData(const Tuple&, Side, ExecContext*) {
   JISC_CHECK(false) << "scan received a data message";
 }
 
-void StreamScan::OnRemoval(const BaseTuple&, Side, ExecContext*) {
-  JISC_CHECK(false) << "scan received a removal message";
+void StreamScan::OnRemoval(const BaseTuple& base, Side, ExecContext* ctx) {
+  // Only the sharded executor's coordinator sends removal messages to a
+  // scan: an instruction to expire `base` from the window now. Per-stream
+  // expiry follows seq order, so the target is always the window front.
+  JISC_CHECK(external_expiry_) << "scan received a removal message";
+  JISC_DCHECK(base.stream == stream_);
+  JISC_CHECK(!window_.empty() && window_.front().seq == base.seq)
+      << "external expiry out of order on stream " << stream_;
+  ExpireFront(ctx);
 }
 
 }  // namespace jisc

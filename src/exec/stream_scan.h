@@ -11,10 +11,17 @@ namespace jisc {
 // Leaf operator: admits base tuples of one stream, maintains the stream's
 // count-based sliding window, and emits arrivals/expirations upward. Its
 // state (the live window) is by definition always complete.
+//
+// In external-expiry mode (sharded parallel execution) the scan never
+// slides its window itself: the coordinator, which sees the stream's full
+// arrival sequence, decides when each tuple leaves the window and delivers
+// an explicit expiry message. The window deque then holds exactly this
+// shard's live subset of the global window.
 class StreamScan : public Operator {
  public:
   StreamScan(int node_id, StreamId stream, uint64_t window_size,
-             WindowSpec::Mode mode = WindowSpec::Mode::kCount);
+             WindowSpec::Mode mode = WindowSpec::Mode::kCount,
+             bool external_expiry = false);
 
   StreamId stream() const { return stream_; }
   uint64_t window_size() const { return window_size_; }
@@ -40,9 +47,12 @@ class StreamScan : public Operator {
   void OnRemoval(const BaseTuple& base, Side from, ExecContext* ctx) override;
 
  private:
+  void ExpireFront(ExecContext* ctx);
+
   StreamId stream_;
   uint64_t window_size_;  // count, or duration in time mode
   WindowSpec::Mode mode_;
+  bool external_expiry_;
   std::deque<BaseTuple> window_;
 };
 

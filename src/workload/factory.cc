@@ -1,7 +1,9 @@
 #include "workload/factory.h"
 
+#include "common/logging.h"
 #include "core/engine.h"
 #include "core/jisc_runtime.h"
+#include "core/parallel_engine.h"
 #include "eddy/cacq.h"
 #include "eddy/mjoin.h"
 #include "eddy/stairs.h"
@@ -43,31 +45,43 @@ std::vector<ProcessorKind> PipelineStrategyKinds() {
 }
 
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
-                             const WindowSpec& windows, ThetaSpec theta) {
+                             const WindowSpec& windows, ThetaSpec theta,
+                             int parallelism) {
   BuiltProcessor built;
   built.sink = std::make_unique<CountingSink>();
+  bool engine_kind = kind == ProcessorKind::kJisc ||
+                     kind == ProcessorKind::kJiscFirstReceipt ||
+                     kind == ProcessorKind::kMovingState ||
+                     kind == ProcessorKind::kStaticPipeline;
+  JISC_CHECK(parallelism <= 1 || engine_kind)
+      << ProcessorKindName(kind) << " does not support parallelism";
   Engine::Options eopts;
   eopts.exec.theta = theta;
+  eopts.parallelism = parallelism;
   switch (kind) {
     case ProcessorKind::kJisc:
-      built.processor = std::make_unique<Engine>(
-          plan, windows, built.sink.get(), MakeJiscStrategy(), eopts);
+      built.processor =
+          MakeEngineProcessor(plan, windows, built.sink.get(),
+                              [] { return MakeJiscStrategy(); }, eopts);
       break;
     case ProcessorKind::kJiscFirstReceipt: {
       JiscOptions j;
       j.completion_mode = JiscOptions::CompletionMode::kOnFirstReceipt;
-      built.processor = std::make_unique<Engine>(
-          plan, windows, built.sink.get(), MakeJiscStrategy(j), eopts);
+      built.processor =
+          MakeEngineProcessor(plan, windows, built.sink.get(),
+                              [j] { return MakeJiscStrategy(j); }, eopts);
       break;
     }
     case ProcessorKind::kMovingState:
-      built.processor = std::make_unique<Engine>(
-          plan, windows, built.sink.get(), MakeMovingStateStrategy(), eopts);
+      built.processor = MakeEngineProcessor(
+          plan, windows, built.sink.get(),
+          [] { return MakeMovingStateStrategy(); }, eopts);
       break;
     case ProcessorKind::kStaticPipeline: {
       eopts.track_freshness = false;
-      built.processor = std::make_unique<Engine>(
-          plan, windows, built.sink.get(), MakeMovingStateStrategy(), eopts);
+      built.processor = MakeEngineProcessor(
+          plan, windows, built.sink.get(),
+          [] { return MakeMovingStateStrategy(); }, eopts);
       break;
     }
     case ProcessorKind::kParallelTrack: {

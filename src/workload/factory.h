@@ -40,9 +40,14 @@ struct BuiltProcessor {
   std::unique_ptr<CountingSink> sink;
 };
 
+// `parallelism` > 1 routes the Engine-based kinds (kJisc,
+// kJiscFirstReceipt, kMovingState, kStaticPipeline) through the
+// hash-partitioned ParallelExecutor with that many shards; the eddy and
+// multi-plan processors are inherently single-threaded and reject it.
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows,
-                             ThetaSpec theta = ThetaSpec());
+                             ThetaSpec theta = ThetaSpec(),
+                             int parallelism = 1);
 
 }  // namespace jisc
 

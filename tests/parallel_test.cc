@@ -1,0 +1,352 @@
+// Concurrency suite for the hash-partitioned parallel execution engine:
+// (1) the sharded engine must emit exactly the single-threaded engine's
+// output multiset across random plans, window modes and mid-run JISC
+// migrations (the single-threaded path is the equivalence oracle);
+// (2) the queue primitives must survive multi-producer hammering with
+// blocking backpressure and lose nothing across a close/drain.
+// This file is the repo's ThreadSanitizer gate: CI runs it under
+// JISC_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/random.h"
+#include "common/spsc_queue.h"
+#include "core/jisc_runtime.h"
+#include "core/parallel_engine.h"
+#include "exec/parallel_executor.h"
+#include "migration/moving_state.h"
+#include "plan/transitions.h"
+#include "tests/test_util.h"
+
+namespace jisc {
+namespace {
+
+using testutil::IdentityMultiset;
+using testutil::IdentityOrder;
+using testutil::UniformWorkload;
+
+// --- queue primitives ------------------------------------------------------
+
+TEST(BoundedQueueTest, MultiProducerStress) {
+  // Tiny capacity so producers constantly hit backpressure.
+  BoundedQueue<uint64_t> q(16);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(static_cast<uint64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+  uint64_t sum = 0;
+  uint64_t count = 0;
+  std::thread consumer([&] {
+    uint64_t v;
+    while (count < kProducers * kPerProducer && q.Pop(&v)) {
+      sum += v;
+      ++count;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(count, kTotal);
+  EXPECT_EQ(sum, kTotal * (kTotal - 1) / 2);  // values are 0..kTotal-1
+}
+
+TEST(BoundedQueueTest, CloseDrainsBufferedItems) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  q.Close();
+  EXPECT_FALSE(q.Push(99));  // rejected after close
+  int v;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.Pop(&v));  // closed and drained
+}
+
+TEST(BoundedQueueTest, PopUnblocksOnClose) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    int v;
+    EXPECT_FALSE(q.Pop(&v));
+  });
+  q.Close();
+  consumer.join();
+}
+
+TEST(SpscQueueTest, OrderedTransferUnderBackpressure) {
+  SpscQueue<uint64_t> q(64);
+  constexpr uint64_t kItems = 200000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(i));
+    q.Close();
+  });
+  uint64_t expected = 0;
+  uint64_t v;
+  while (q.Pop(&v)) {
+    ASSERT_EQ(v, expected);  // SPSC preserves order exactly
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(SpscQueueTest, TryOpsRespectCapacity) {
+  SpscQueue<int> q(4);  // rounds to 4
+  int v = 0;
+  size_t pushed = 0;
+  for (int i = 0; i < 64; ++i) {
+    v = i;
+    if (q.TryPush(v)) ++pushed;
+  }
+  EXPECT_EQ(pushed, q.capacity());
+  int out;
+  size_t popped = 0;
+  while (q.TryPop(&out)) ++popped;
+  EXPECT_EQ(popped, pushed);
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+// --- sharded engine equivalence -------------------------------------------
+
+enum class ShardStrategy { kJisc, kMovingState };
+
+std::unique_ptr<StreamProcessor> MakeSharded(ShardStrategy strategy,
+                                             const LogicalPlan& plan,
+                                             const WindowSpec& windows,
+                                             Sink* sink, int parallelism) {
+  Engine::Options eopts;
+  eopts.maintain_period = 32;  // exercise completion detection often
+  eopts.parallelism = parallelism;
+  ParallelExecutor::Options popts;
+  popts.queue_capacity = 8;  // small queues: hit backpressure in tests
+  popts.batch_size = 4;
+  StrategyFactory factory;
+  if (strategy == ShardStrategy::kJisc) {
+    factory = [] { return MakeJiscStrategy(); };
+  } else {
+    factory = [] { return MakeMovingStateStrategy(); };
+  }
+  return MakeEngineProcessor(plan, windows, sink, factory, eopts, popts);
+}
+
+// Runs the identical workload + transition schedule through the
+// single-threaded oracle and the sharded engine, and compares output and
+// retraction multisets.
+void ExpectShardedMatchesOracle(ShardStrategy strategy,
+                                const LogicalPlan& plan,
+                                const WindowSpec& windows,
+                                const std::vector<BaseTuple>& tuples,
+                                const std::map<size_t, LogicalPlan>& schedule,
+                                int parallelism) {
+  CollectingSink oracle_sink;
+  auto oracle = MakeSharded(strategy, plan, windows, &oracle_sink, 1);
+  CollectingSink sharded_sink;
+  auto sharded =
+      MakeSharded(strategy, plan, windows, &sharded_sink, parallelism);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto it = schedule.find(i);
+    if (it != schedule.end()) {
+      ASSERT_TRUE(oracle->RequestTransition(it->second).ok());
+      ASSERT_TRUE(sharded->RequestTransition(it->second).ok());
+    }
+    oracle->Push(tuples[i]);
+    sharded->Push(tuples[i]);
+  }
+  // parallelism 1 routes to a plain (synchronous) Engine; otherwise quiesce
+  // the shards so the collected outputs are complete.
+  auto* parallel = dynamic_cast<ParallelExecutor*>(sharded.get());
+  if (parallelism > 1) {
+    ASSERT_NE(parallel, nullptr);
+    parallel->Barrier();
+  } else {
+    ASSERT_EQ(parallel, nullptr);
+  }
+  EXPECT_EQ(IdentityMultiset(sharded_sink.outputs()),
+            IdentityMultiset(oracle_sink.outputs()))
+      << "outputs diverge at parallelism " << parallelism;
+  EXPECT_EQ(IdentityMultiset(sharded_sink.retractions()),
+            IdentityMultiset(oracle_sink.retractions()))
+      << "retractions diverge at parallelism " << parallelism;
+  EXPECT_GT(sharded_sink.outputs().size(), 0u)
+      << "vacuous equivalence: workload produced no outputs";
+}
+
+TEST(ParallelEquivalenceTest, LeftDeepWithJiscMigration) {
+  int streams = 4;
+  uint64_t window = 40;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  LogicalPlan reversed = LogicalPlan::LeftDeep(
+      WorstCaseOrder(IdentityOrder(streams)), OpKind::kHashJoin);
+  auto tuples = UniformWorkload(streams, window, 1200, /*seed=*/11);
+  std::map<size_t, LogicalPlan> schedule{{500, reversed}, {900, plan}};
+  for (int shards : {1, 2, 4}) {
+    ExpectShardedMatchesOracle(ShardStrategy::kJisc, plan,
+                               WindowSpec::Uniform(streams, window), tuples,
+                               schedule, shards);
+  }
+}
+
+TEST(ParallelEquivalenceTest, BushyWithJiscMigration) {
+  int streams = 5;
+  uint64_t window = 30;
+  LogicalPlan plan =
+      LogicalPlan::BalancedBushy(IdentityOrder(streams), OpKind::kHashJoin);
+  LogicalPlan left_deep =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  auto tuples = UniformWorkload(streams, window, 1000, /*seed=*/23);
+  std::map<size_t, LogicalPlan> schedule{{400, left_deep}};
+  ExpectShardedMatchesOracle(ShardStrategy::kJisc, plan,
+                             WindowSpec::Uniform(streams, window), tuples,
+                             schedule, 3);
+}
+
+TEST(ParallelEquivalenceTest, MovingStateStrategy) {
+  int streams = 4;
+  uint64_t window = 35;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  LogicalPlan swapped = LogicalPlan::LeftDeep(
+      SwapPositions(IdentityOrder(streams), 1, 3), OpKind::kHashJoin);
+  auto tuples = UniformWorkload(streams, window, 900, /*seed=*/31);
+  std::map<size_t, LogicalPlan> schedule{{450, swapped}};
+  ExpectShardedMatchesOracle(ShardStrategy::kMovingState, plan,
+                             WindowSpec::Uniform(streams, window), tuples,
+                             schedule, 4);
+}
+
+TEST(ParallelEquivalenceTest, TimeBasedWindows) {
+  int streams = 3;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  LogicalPlan swapped = LogicalPlan::LeftDeep(
+      SwapPositions(IdentityOrder(streams), 0, 2), OpKind::kHashJoin);
+  SourceConfig cfg;
+  cfg.num_streams = streams;
+  cfg.key_domain = 25;
+  cfg.seed = 47;
+  cfg.ts_stride = 1;  // event time advances every arrival
+  SyntheticSource src(cfg);
+  auto tuples = src.NextBatch(900);
+  std::map<size_t, LogicalPlan> schedule{{400, swapped}};
+  ExpectShardedMatchesOracle(ShardStrategy::kJisc, plan,
+                             WindowSpec::UniformTime(streams, 90), tuples,
+                             schedule, 3);
+}
+
+TEST(ParallelEquivalenceTest, RandomPlansAndSchedules) {
+  Rng rng(0xfeedULL);
+  for (int round = 0; round < 6; ++round) {
+    int streams = 3 + static_cast<int>(rng.UniformU64(3));  // 3..5
+    uint64_t window = 20 + rng.UniformU64(40);
+    std::vector<StreamId> order = IdentityOrder(streams);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.UniformU64(i)]);
+    }
+    bool bushy = streams >= 4 && rng.Bernoulli(0.5);
+    LogicalPlan plan = bushy
+        ? LogicalPlan::BalancedBushy(order, OpKind::kHashJoin)
+        : LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+    std::vector<StreamId> order2 = order;
+    for (size_t i = order2.size(); i > 1; --i) {
+      std::swap(order2[i - 1], order2[rng.UniformU64(i)]);
+    }
+    LogicalPlan next = LogicalPlan::LeftDeep(order2, OpKind::kHashJoin);
+    size_t total = 600 + rng.UniformU64(400);
+    auto tuples = UniformWorkload(streams, window, total, rng.Next());
+    std::map<size_t, LogicalPlan> schedule{{total / 2, next}};
+    int shards = 2 + static_cast<int>(rng.UniformU64(3));  // 2..4
+    SCOPED_TRACE("round " + std::to_string(round) + " plan " +
+                 plan.ToString() + " shards " + std::to_string(shards));
+    ExpectShardedMatchesOracle(ShardStrategy::kJisc, plan,
+                               WindowSpec::Uniform(streams, window), tuples,
+                               schedule, shards);
+  }
+}
+
+// --- sharded engine behavior ----------------------------------------------
+
+TEST(ParallelExecutorTest, RejectsThetaPlans) {
+  std::vector<StreamId> order = IdentityOrder(3);
+  LogicalPlan theta = LogicalPlan::LeftDeep(order, OpKind::kNljJoin);
+  EXPECT_FALSE(ParallelExecutor::ValidateShardable(theta).ok());
+  LogicalPlan hash = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  EXPECT_TRUE(ParallelExecutor::ValidateShardable(hash).ok());
+
+  // A running sharded engine refuses to migrate to a theta plan.
+  CountingSink sink;
+  auto proc = MakeSharded(ShardStrategy::kJisc, hash,
+                          WindowSpec::Uniform(3, 20), &sink, 2);
+  EXPECT_FALSE(proc->RequestTransition(theta).ok());
+}
+
+TEST(ParallelExecutorTest, MetricsAggregateAcrossShards) {
+  int streams = 3;
+  uint64_t window = 30;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  CountingSink sink;
+  auto proc = MakeSharded(ShardStrategy::kJisc, plan,
+                          WindowSpec::Uniform(streams, window), &sink, 4);
+  auto tuples = UniformWorkload(streams, window, 600, /*seed=*/5);
+  for (const BaseTuple& t : tuples) proc->Push(t);
+  const Metrics& m = proc->metrics();  // quiesces all shards
+  EXPECT_EQ(m.arrivals, tuples.size());
+  EXPECT_EQ(m.outputs, sink.outputs());
+  EXPECT_GT(m.probes, 0u);
+  EXPECT_GT(proc->StateMemory(), 0u);
+}
+
+TEST(ParallelExecutorTest, JiscCompletionRunsPerShard) {
+  int streams = 4;
+  uint64_t window = 50;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  LogicalPlan reversed = LogicalPlan::LeftDeep(
+      WorstCaseOrder(IdentityOrder(streams)), OpKind::kHashJoin);
+  CountingSink sink;
+  auto proc = MakeSharded(ShardStrategy::kJisc, plan,
+                          WindowSpec::Uniform(streams, window), &sink, 4);
+  auto tuples = UniformWorkload(streams, window, 2000, /*seed=*/77);
+  size_t half = tuples.size() / 2;
+  for (size_t i = 0; i < half; ++i) proc->Push(tuples[i]);
+  ASSERT_TRUE(proc->RequestTransition(reversed).ok());
+  for (size_t i = half; i < tuples.size(); ++i) proc->Push(tuples[i]);
+  // The worst-case reorder leaves every intermediate state incomplete;
+  // post-transition traffic must trigger per-shard lazy completion.
+  EXPECT_GT(proc->metrics().completions, 0u);
+}
+
+TEST(ParallelExecutorTest, BackpressureSurvivesTinyQueues) {
+  int streams = 3;
+  uint64_t window = 25;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  Engine::Options eopts;
+  eopts.parallelism = 8;
+  ParallelExecutor::Options popts;
+  popts.queue_capacity = 2;  // maximal contention on the feeds
+  popts.batch_size = 1;
+  CountingSink sink;
+  auto proc = MakeEngineProcessor(
+      plan, WindowSpec::Uniform(streams, window), &sink,
+      [] { return MakeJiscStrategy(); }, eopts, popts);
+  auto tuples = UniformWorkload(streams, window, 4000, /*seed=*/13);
+  for (const BaseTuple& t : tuples) proc->Push(t);
+  EXPECT_EQ(proc->metrics().arrivals, tuples.size());
+}
+
+}  // namespace
+}  // namespace jisc
