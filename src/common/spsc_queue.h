@@ -133,10 +133,12 @@ class SpscQueue {
   static constexpr int kSpins = 128;
 
   void MaybeNotify() {
-    // waiters_ is only mutated under mu_; a racy read that misses a waiter
-    // is healed by that waiter's 1ms wait timeout.
+    // Deliberately does NOT take mu_: the parked loops in Push/Pop call
+    // TryPush/TryPop with mu_ already held, and mu_ is non-recursive.
+    // Notifying without the mutex can lose the race against a waiter that
+    // has checked the condition but not yet parked; the waiter's 1ms wait
+    // timeout heals any such missed wakeup. waiters_ is a racy hint only.
     if (waiters_.load(std::memory_order_relaxed) > 0) {
-      std::lock_guard<std::mutex> lk(mu_);
       cv_.notify_all();
     }
   }

@@ -1,0 +1,34 @@
+#include "core/parallel_engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace jisc {
+
+std::unique_ptr<StreamProcessor> MakeEngineProcessor(
+    const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+    StrategyFactory strategy_factory, Engine::Options options,
+    ParallelExecutor::Options parallel_options) {
+  JISC_CHECK(strategy_factory != nullptr);
+  if (options.parallelism <= 1) {
+    return std::make_unique<Engine>(plan, windows, sink, strategy_factory(),
+                                    options);
+  }
+  parallel_options.num_shards = options.parallelism;
+  Engine::Options shard_options = options;
+  shard_options.parallelism = 1;
+  shard_options.exec.external_expiry = true;
+  ParallelExecutor::ShardFactory shard_factory =
+      [plan, windows, shard_options, strategy_factory](Sink* shard_sink,
+                                                       int shard) {
+        (void)shard;
+        return std::make_unique<Engine>(plan, windows, shard_sink,
+                                        strategy_factory(), shard_options);
+      };
+  return std::make_unique<ParallelExecutor>(plan, windows, sink,
+                                            std::move(shard_factory),
+                                            parallel_options);
+}
+
+}  // namespace jisc

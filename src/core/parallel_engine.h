@@ -1,0 +1,36 @@
+#ifndef JISC_CORE_PARALLEL_ENGINE_H_
+#define JISC_CORE_PARALLEL_ENGINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/engine.h"
+#include "core/migration_strategy.h"
+#include "exec/parallel_executor.h"
+
+namespace jisc {
+
+// Builds one migration strategy instance. The sharded path needs a fresh
+// strategy per shard (a strategy holds per-engine state), hence a factory
+// rather than a single instance.
+using StrategyFactory = std::function<std::unique_ptr<MigrationStrategy>()>;
+
+// The one entry point that routes between the two execution paths:
+//
+//  * options.parallelism <= 1: a plain single-threaded Engine — the default
+//    and the equivalence oracle;
+//  * options.parallelism  > 1: a ParallelExecutor over `parallelism`
+//    hash-partitioned shards, each an Engine in external-expiry mode with
+//    its own strategy instance, all delivering into `sink` through a
+//    serializing adapter.
+//
+// The sharded path requires a shardable plan (every stateful operator
+// matches on join-key equality; no theta/NLJ joins).
+std::unique_ptr<StreamProcessor> MakeEngineProcessor(
+    const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+    StrategyFactory strategy_factory, Engine::Options options,
+    ParallelExecutor::Options parallel_options = ParallelExecutor::Options());
+
+}  // namespace jisc
+
+#endif  // JISC_CORE_PARALLEL_ENGINE_H_

@@ -9,10 +9,13 @@
 namespace jisc {
 
 // One deterministic work counter. Increments use relaxed atomics so the
-// per-shard engines of the parallel executor can be aggregated (and
-// observed by monitoring threads) without data races; on the
-// single-threaded path an uncontended relaxed fetch_add costs the same as
-// a plain increment on x86/aarch64. Counters are value types: copying
+// per-shard engines of the parallel executor can be aggregated without
+// data races; on the single-threaded path an uncontended relaxed fetch_add
+// costs the same as a plain increment on x86/aarch64. Note this makes the
+// individual counter reads race-free, not every metrics entry point:
+// ParallelExecutor::metrics() runs a quiescing barrier and is
+// coordinator-only — monitoring threads must go through
+// ParallelExecutor::MetricsApprox(). Counters are value types: copying
 // snapshots the current count, which keeps Metrics copyable for
 // before/after deltas in benches and tests.
 class Counter {

@@ -168,6 +168,15 @@ uint64_t ParallelExecutor::StateMemory() const {
   return bytes;
 }
 
+Metrics ParallelExecutor::MetricsApprox() const {
+  // Shard Engine::metrics() returns a reference to counters that are only
+  // ever incremented through relaxed atomics, so summing them while workers
+  // run is race-free (though a batch may be caught mid-flight).
+  Metrics m;
+  for (const auto& s : shards_) m += s->processor->metrics();
+  return m;
+}
+
 void ParallelExecutor::WorkerLoop(int shard_index) {
   Shard& s = *shards_[static_cast<size_t>(shard_index)];
   StreamProcessor* proc = s.processor.get();

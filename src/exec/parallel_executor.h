@@ -52,7 +52,11 @@ namespace jisc {
 //
 // The public StreamProcessor surface must be driven by ONE thread (the
 // coordinator); Push is asynchronous (it returns once the event is
-// enqueued), and metrics()/StateMemory() quiesce all shards first.
+// enqueued), and metrics()/StateMemory() quiesce all shards first. That
+// quiescing barrier drives the same per-shard feed queues and ack channel
+// as Push/RequestTransition, so metrics() and StateMemory() are
+// coordinator-only too — monitoring threads that want a live view must use
+// MetricsApprox(), which only reads atomic counters.
 class ParallelExecutor : public StreamProcessor {
  public:
   struct Options {
@@ -87,13 +91,23 @@ class ParallelExecutor : public StreamProcessor {
   void Push(const BaseTuple& tuple) override;
   Status RequestTransition(const LogicalPlan& new_plan) override;
   // Quiesces all shards, then returns the merged per-shard counters.
+  // Coordinator thread only: the barrier mutates coordinator-side batches
+  // and consumes acks, so a concurrent Push/RequestTransition races.
+  // Monitoring threads should call MetricsApprox() instead.
   const Metrics& metrics() const override;
+  // Coordinator thread only (quiesces, then walks worker-owned state).
   uint64_t StateMemory() const override;
 
   // Flushes every pending batch and blocks until all shards have processed
   // everything enqueued so far. The output sink is fully caught up on
-  // return.
+  // return. Coordinator thread only.
   void Barrier();
+
+  // Thread-safe, non-quiescing counter snapshot: sums the shards' atomic
+  // counters without a barrier, so batches still in flight are partially
+  // reflected. This is the only observation entry point that may be called
+  // concurrently with the coordinator (e.g. from a monitoring thread).
+  Metrics MetricsApprox() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   StreamProcessor* shard(int i) { return shards_[i]->processor.get(); }

@@ -329,6 +329,39 @@ TEST(ParallelExecutorTest, JiscCompletionRunsPerShard) {
   EXPECT_GT(proc->metrics().completions, 0u);
 }
 
+TEST(ParallelExecutorTest, MetricsApproxIsSafeFromMonitoringThread) {
+  // metrics()/StateMemory() are coordinator-only (they quiesce the shards);
+  // MetricsApprox() is the one observation entry point another thread may
+  // hit while the coordinator keeps pushing. TSan gates this.
+  int streams = 3;
+  uint64_t window = 30;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  CountingSink sink;
+  auto proc = MakeSharded(ShardStrategy::kJisc, plan,
+                          WindowSpec::Uniform(streams, window), &sink, 4);
+  auto* parallel = dynamic_cast<ParallelExecutor*>(proc.get());
+  ASSERT_NE(parallel, nullptr);
+  std::atomic<bool> done{false};
+  uint64_t last_seen = 0;
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Metrics snap = parallel->MetricsApprox();
+      uint64_t arrivals = snap.arrivals;
+      EXPECT_GE(arrivals, last_seen);  // counters are monotone
+      last_seen = arrivals;
+      std::this_thread::yield();
+    }
+  });
+  auto tuples = UniformWorkload(streams, window, 3000, /*seed=*/61);
+  for (const BaseTuple& t : tuples) proc->Push(t);
+  parallel->Barrier();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_EQ(parallel->MetricsApprox().arrivals, tuples.size());
+  EXPECT_EQ(proc->metrics().arrivals, tuples.size());
+}
+
 TEST(ParallelExecutorTest, BackpressureSurvivesTinyQueues) {
   int streams = 3;
   uint64_t window = 25;
