@@ -1,13 +1,13 @@
 #ifndef JISC_COMMON_BOUNDED_QUEUE_H_
 #define JISC_COMMON_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace jisc {
 
@@ -21,6 +21,14 @@ namespace jisc {
 // while Pop keeps returning buffered items until the queue is empty and
 // only then reports exhaustion. This makes "close, then join the consumer"
 // a loss-free drain.
+//
+// Concurrency contract (compiler-checked): items_ and closed_ are only
+// touched under mu_; notifies are issued after the lock is dropped, so a
+// woken peer never immediately blocks on the still-held mutex (and the
+// notify path can never re-enter mu_ — the self-deadlock shape fixed in
+// SpscQueue in PR 1 is structurally impossible here; see
+// tests/parallel_test.cc BoundedQueueTest.*Parked* for the regression
+// guards).
 template <typename T>
 class BoundedQueue {
  public:
@@ -33,68 +41,72 @@ class BoundedQueue {
 
   // Blocks while full. Returns false (and drops `v`) if the queue was
   // closed before space became available.
-  bool Push(T v) {
-    std::unique_lock<std::mutex> lk(mu_);
-    not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(v));
-    lk.unlock();
-    not_empty_.notify_one();
+  bool Push(T v) JISC_EXCLUDES(mu_) {
+    {
+      ReleasableMutexLock lk(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+      lk.Release();
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Non-blocking push; false when full or closed.
-  bool TryPush(T& v) {
+  bool TryPush(T& v) JISC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(v));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks while empty and open. Returns false only when the queue is
   // closed AND fully drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed and drained
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lk.unlock();
-    not_full_.notify_one();
+  bool Pop(T* out) JISC_EXCLUDES(mu_) {
+    {
+      ReleasableMutexLock lk(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return false;  // closed and drained
+      *out = std::move(items_.front());
+      items_.pop_front();
+      lk.Release();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   // Non-blocking pop; false when nothing is buffered.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) JISC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
-  void Close() {
+  void Close() JISC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool closed() const JISC_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  size_t size() const JISC_EXCLUDES(mu_) {
+    MutexLock lk(&mu_);
     return items_.size();
   }
 
@@ -102,11 +114,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ JISC_GUARDED_BY(mu_);
+  bool closed_ JISC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace jisc

@@ -1,9 +1,11 @@
 #ifndef JISC_COMMON_BYTES_H_
 #define JISC_COMMON_BYTES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 

@@ -2,6 +2,7 @@
 #define JISC_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <ostream>
 #include <sstream>
 #include <string>
 

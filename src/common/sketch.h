@@ -1,6 +1,7 @@
 #ifndef JISC_COMMON_SKETCH_H_
 #define JISC_COMMON_SKETCH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace jisc {
 
@@ -30,6 +30,13 @@ namespace jisc {
 // Shutdown/drain: Close() rejects further pushes and wakes waiters; Pop
 // keeps draining buffered items and reports exhaustion only once the ring
 // is empty.
+//
+// Concurrency contract (compiler-checked): the ring itself (buf_, head_,
+// tail_, closed_, waiters_) is synchronized by the SPSC discipline plus
+// atomics — no field is guarded by mu_. The mutex exists purely so parked
+// Push/Pop loops have something to wait on; MaybeNotify must therefore
+// never acquire it (see below), which the JISC_EXCLUDES annotations now
+// state to the compiler instead of only to the reader.
 template <typename T>
 class SpscQueue {
  public:
@@ -45,6 +52,8 @@ class SpscQueue {
   SpscQueue& operator=(const SpscQueue&) = delete;
 
   // Producer side. False when full or closed (v is left intact when full).
+  // Called both bare (fast path) and with mu_ held (the parked Push loop),
+  // so it must not itself touch mu_.
   bool TryPush(T& v) {
     if (closed_.load(std::memory_order_relaxed)) return false;
     uint64_t tail = tail_.load(std::memory_order_relaxed);
@@ -56,7 +65,8 @@ class SpscQueue {
     return true;
   }
 
-  // Consumer side. False when nothing is buffered.
+  // Consumer side. False when nothing is buffered. Same locking caveat as
+  // TryPush.
   bool TryPop(T* out) {
     uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_.load(std::memory_order_acquire);
@@ -68,13 +78,13 @@ class SpscQueue {
   }
 
   // Blocks while full (backpressure). False if the queue is closed.
-  bool Push(T v) {
+  bool Push(T v) JISC_EXCLUDES(mu_) {
     for (int spin = 0; spin < kSpins; ++spin) {
       if (TryPush(v)) return true;
       if (closed_.load(std::memory_order_relaxed)) return false;
       std::this_thread::yield();
     }
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ++waiters_;
     for (;;) {
       if (TryPush(v)) break;
@@ -82,14 +92,14 @@ class SpscQueue {
         --waiters_;
         return false;
       }
-      cv_.wait_for(lk, std::chrono::milliseconds(1));
+      cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
     --waiters_;
     return true;
   }
 
   // Blocks while empty and open. False when closed and fully drained.
-  bool Pop(T* out) {
+  bool Pop(T* out) JISC_EXCLUDES(mu_) {
     for (int spin = 0; spin < kSpins; ++spin) {
       if (TryPop(out)) return true;
       if (closed_.load(std::memory_order_acquire)) {
@@ -98,7 +108,7 @@ class SpscQueue {
       }
       std::this_thread::yield();
     }
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ++waiters_;
     for (;;) {
       if (TryPop(out)) break;
@@ -106,16 +116,16 @@ class SpscQueue {
         --waiters_;
         return TryPop(out);
       }
-      cv_.wait_for(lk, std::chrono::milliseconds(1));
+      cv_.WaitFor(&mu_, std::chrono::milliseconds(1));
     }
     --waiters_;
     return true;
   }
 
-  void Close() {
+  void Close() JISC_EXCLUDES(mu_) {
     closed_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lk(mu_);
-    cv_.notify_all();
+    MutexLock lk(&mu_);
+    cv_.NotifyAll();
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -132,14 +142,17 @@ class SpscQueue {
  private:
   static constexpr int kSpins = 128;
 
+  // Deliberately does NOT take mu_: the parked loops in Push/Pop call
+  // TryPush/TryPop with mu_ already held, and mu_ is non-recursive — this
+  // is the PR 1 self-deadlock fix, now stated as a checked contract
+  // (TryPush/TryPop carry no JISC_EXCLUDES precisely because they run
+  // under the caller's lock). Notifying without the mutex can lose the
+  // race against a waiter that has checked the condition but not yet
+  // parked; the waiter's 1ms wait timeout heals any such missed wakeup.
+  // waiters_ is a racy hint only.
   void MaybeNotify() {
-    // Deliberately does NOT take mu_: the parked loops in Push/Pop call
-    // TryPush/TryPop with mu_ already held, and mu_ is non-recursive.
-    // Notifying without the mutex can lose the race against a waiter that
-    // has checked the condition but not yet parked; the waiter's 1ms wait
-    // timeout heals any such missed wakeup. waiters_ is a racy hint only.
     if (waiters_.load(std::memory_order_relaxed) > 0) {
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
@@ -148,8 +161,12 @@ class SpscQueue {
   alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
   std::atomic<bool> closed_{false};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Parking-only mutex: every shared field above is an atomic synchronized
+  // by the SPSC protocol; mu_/cv_ exist only so the blocking wrappers can
+  // sleep, hence no field is guarded by it.
+  // lint: allow(unguarded-mutex): parking-only, all shared state is atomic
+  Mutex mu_;
+  CondVar cv_;
   std::atomic<int> waiters_{0};
 };
 

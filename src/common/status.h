@@ -73,8 +73,10 @@ template <typename T>
 class StatusOr {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
-  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
-  StatusOr(Status status) : status_(std::move(status)) {}     // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {}
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }

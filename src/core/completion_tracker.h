@@ -1,6 +1,7 @@
 #ifndef JISC_CORE_COMPLETION_TRACKER_H_
 #define JISC_CORE_COMPLETION_TRACKER_H_
 
+#include <cstddef>
 #include <unordered_set>
 
 #include "common/hash.h"

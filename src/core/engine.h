@@ -1,6 +1,8 @@
 #ifndef JISC_CORE_ENGINE_H_
 #define JISC_CORE_ENGINE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>

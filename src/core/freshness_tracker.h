@@ -1,6 +1,7 @@
 #ifndef JISC_CORE_FRESHNESS_TRACKER_H_
 #define JISC_CORE_FRESHNESS_TRACKER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>

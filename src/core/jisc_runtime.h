@@ -2,7 +2,9 @@
 #define JISC_CORE_JISC_RUNTIME_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/completion_tracker.h"
 #include "core/engine.h"

@@ -20,15 +20,15 @@ std::unique_ptr<StreamProcessor> MakeEngineProcessor(
   shard_options.parallelism = 1;
   shard_options.exec.external_expiry = true;
   ParallelExecutor::ShardFactory shard_factory =
-      [plan, windows, shard_options, strategy_factory](Sink* shard_sink,
+      [plan, windows, shard_options,
+       strategy_factory = std::move(strategy_factory)](Sink* shard_sink,
                                                        int shard) {
         (void)shard;
         return std::make_unique<Engine>(plan, windows, shard_sink,
                                         strategy_factory(), shard_options);
       };
   return std::make_unique<ParallelExecutor>(plan, windows, sink,
-                                            std::move(shard_factory),
-                                            parallel_options);
+                                            shard_factory, parallel_options);
 }
 
 }  // namespace jisc

@@ -26,6 +26,13 @@ using StrategyFactory = std::function<std::unique_ptr<MigrationStrategy>()>;
 //
 // The sharded path requires a shardable plan (every stateful operator
 // matches on join-key equality; no theta/NLJ joins).
+//
+// Threading contract: the returned processor's public surface must be
+// driven by one coordinator thread — the sharded path's entry points are
+// marked JISC_COORDINATOR_ONLY on ParallelExecutor (see
+// src/common/thread_annotations.h and DESIGN.md "Threading model &
+// capability map"); only ParallelExecutor::MetricsApprox() may be called
+// from other threads.
 std::unique_ptr<StreamProcessor> MakeEngineProcessor(
     const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
     StrategyFactory strategy_factory, Engine::Options options,

@@ -1,7 +1,9 @@
 #ifndef JISC_EDDY_CACQ_H_
 #define JISC_EDDY_CACQ_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"

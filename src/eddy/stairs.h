@@ -1,7 +1,10 @@
 #ifndef JISC_EDDY_STAIRS_H_
 #define JISC_EDDY_STAIRS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 

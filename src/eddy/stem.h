@@ -1,6 +1,8 @@
 #ifndef JISC_EDDY_STEM_H_
 #define JISC_EDDY_STEM_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 

@@ -12,16 +12,20 @@ namespace jisc {
 // per-shard engines of the parallel executor can be aggregated without
 // data races; on the single-threaded path an uncontended relaxed fetch_add
 // costs the same as a plain increment on x86/aarch64. Note this makes the
-// individual counter reads race-free, not every metrics entry point:
-// ParallelExecutor::metrics() runs a quiescing barrier and is
-// coordinator-only — monitoring threads must go through
-// ParallelExecutor::MetricsApprox(). Counters are value types: copying
-// snapshots the current count, which keeps Metrics copyable for
-// before/after deltas in benches and tests.
+// individual counter reads race-free, not every metrics entry point: which
+// entry points belong to the coordinator thread is declared (and
+// lint-enforced) by JISC_COORDINATOR_ONLY on the entry point itself — see
+// ParallelExecutor, whose quiescing metrics() carries the marker while
+// MetricsApprox() is the thread-safe alternative. Counters are value
+// types: copying snapshots the current count, which keeps Metrics copyable
+// for before/after deltas in benches and tests.
 class Counter {
  public:
   constexpr Counter() = default;
-  constexpr Counter(uint64_t v) : v_(v) {}  // NOLINT(runtime/explicit)
+  // Implicit by design: counters initialize/compare against integer
+  // literals throughout benches and tests.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr Counter(uint64_t v) : v_(v) {}
   Counter(const Counter& o) : v_(o.value()) {}
   Counter& operator=(const Counter& o) {
     v_.store(o.value(), std::memory_order_relaxed);
@@ -46,7 +50,8 @@ class Counter {
   }
 
   uint64_t value() const { return v_.load(std::memory_order_relaxed); }
-  operator uint64_t() const { return value(); }  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator uint64_t() const { return value(); }
 
   friend std::ostream& operator<<(std::ostream& os, const Counter& c) {
     return os << c.value();

@@ -1,9 +1,11 @@
 #ifndef JISC_EXEC_OPERATOR_H_
 #define JISC_EXEC_OPERATOR_H_
 
+#include <cstddef>
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exec/message.h"
 #include "exec/metrics.h"

@@ -9,7 +9,8 @@ namespace jisc {
 
 ParallelExecutor::ParallelExecutor(const LogicalPlan& plan,
                                    const WindowSpec& windows, Sink* sink,
-                                   ShardFactory factory, Options options)
+                                   const ShardFactory& factory,
+                                   Options options)
     : options_(options),
       windows_(windows),
       acks_(static_cast<size_t>(options.num_shards > 0 ? options.num_shards
@@ -177,6 +178,8 @@ Metrics ParallelExecutor::MetricsApprox() const {
   return m;
 }
 
+// jisc-worker-entry: runs on a shard thread; calling any
+// JISC_COORDINATOR_ONLY method from here is a lint error.
 void ParallelExecutor::WorkerLoop(int shard_index) {
   Shard& s = *shards_[static_cast<size_t>(shard_index)];
   StreamProcessor* proc = s.processor.get();

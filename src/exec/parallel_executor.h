@@ -1,6 +1,7 @@
 #ifndef JISC_EXEC_PARALLEL_EXECUTOR_H_
 #define JISC_EXEC_PARALLEL_EXECUTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -12,6 +13,7 @@
 #include "common/bounded_queue.h"
 #include "common/spsc_queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/sink.h"
 #include "exec/stream_processor.h"
 #include "stream/window.h"
@@ -51,12 +53,14 @@ namespace jisc {
 // after they drain.
 //
 // The public StreamProcessor surface must be driven by ONE thread (the
-// coordinator); Push is asynchronous (it returns once the event is
-// enqueued), and metrics()/StateMemory() quiesce all shards first. That
-// quiescing barrier drives the same per-shard feed queues and ack channel
-// as Push/RequestTransition, so metrics() and StateMemory() are
-// coordinator-only too — monitoring threads that want a live view must use
-// MetricsApprox(), which only reads atomic counters.
+// coordinator); every entry point with that contract carries the
+// JISC_COORDINATOR_ONLY marker below — the single source of truth,
+// enforced by tools/lint_contracts.py (worker-thread code may not call a
+// marked method). Push is asynchronous (it returns once the event is
+// enqueued); metrics()/StateMemory() quiesce all shards through the same
+// feed queues and ack channel as Push/RequestTransition, which is exactly
+// why they are marked too. Monitoring threads that want a live view must
+// use MetricsApprox(), which only reads atomic counters.
 class ParallelExecutor : public StreamProcessor {
  public:
   struct Options {
@@ -78,7 +82,7 @@ class ParallelExecutor : public StreamProcessor {
   // wrapped in an internal LockedSink shared by all shards. Pass nullptr
   // when the factory wires its own (per-shard) sinks.
   ParallelExecutor(const LogicalPlan& plan, const WindowSpec& windows,
-                   Sink* sink, ShardFactory factory, Options options);
+                   Sink* sink, const ShardFactory& factory, Options options);
   ~ParallelExecutor() override;
 
   // True when every stateful operator matches on join-key equality, the
@@ -88,20 +92,21 @@ class ParallelExecutor : public StreamProcessor {
 
   // --- StreamProcessor ---
   std::string name() const override { return name_; }
-  void Push(const BaseTuple& tuple) override;
-  Status RequestTransition(const LogicalPlan& new_plan) override;
-  // Quiesces all shards, then returns the merged per-shard counters.
-  // Coordinator thread only: the barrier mutates coordinator-side batches
-  // and consumes acks, so a concurrent Push/RequestTransition races.
+  JISC_COORDINATOR_ONLY void Push(const BaseTuple& tuple) override;
+  JISC_COORDINATOR_ONLY Status RequestTransition(
+      const LogicalPlan& new_plan) override;
+  // Quiesces all shards, then returns the merged per-shard counters (the
+  // barrier mutates coordinator-side batches and consumes acks, so a
+  // concurrent Push/RequestTransition races — hence the marker).
   // Monitoring threads should call MetricsApprox() instead.
-  const Metrics& metrics() const override;
-  // Coordinator thread only (quiesces, then walks worker-owned state).
-  uint64_t StateMemory() const override;
+  JISC_COORDINATOR_ONLY const Metrics& metrics() const override;
+  // Quiesces, then walks worker-owned state.
+  JISC_COORDINATOR_ONLY uint64_t StateMemory() const override;
 
   // Flushes every pending batch and blocks until all shards have processed
   // everything enqueued so far. The output sink is fully caught up on
-  // return. Coordinator thread only.
-  void Barrier();
+  // return.
+  JISC_COORDINATOR_ONLY void Barrier();
 
   // Thread-safe, non-quiescing counter snapshot: sums the shards' atomic
   // counters without a barrier, so batches still in flight are partially
@@ -135,12 +140,16 @@ class ParallelExecutor : public StreamProcessor {
   };
 
   int OwnerShard(JoinKey key) const;
-  void Enqueue(int shard, ShardEvent ev);
-  void FlushShard(Shard& s);
-  void FlushAll();
+  // Coordinator-side helpers: they mutate the per-shard pending batches.
+  JISC_COORDINATOR_ONLY void Enqueue(int shard, ShardEvent ev);
+  JISC_COORDINATOR_ONLY void FlushShard(Shard& s);
+  JISC_COORDINATOR_ONLY void FlushAll();
   // Broadcasts a control event and waits for every shard's ack; returns the
   // first non-OK status.
-  Status BroadcastAndWait(const ShardEvent& ev);
+  JISC_COORDINATOR_ONLY Status BroadcastAndWait(const ShardEvent& ev);
+  // Worker-thread entry point (jisc-worker-entry): everything reachable
+  // from here runs on a shard thread, so tools/lint_contracts.py forbids
+  // calls to JISC_COORDINATOR_ONLY methods inside it.
   void WorkerLoop(int shard_index);
 
   Options options_;

@@ -1,6 +1,7 @@
 #ifndef JISC_EXEC_PIPELINE_EXECUTOR_H_
 #define JISC_EXEC_PIPELINE_EXECUTOR_H_
 
+#include <cstddef>
 #include <deque>
 #include <memory>
 #include <vector>

@@ -22,7 +22,7 @@ void SetDifference::SuppressKey(JoinKey key, ExecContext* ctx) {
     if (ctx->metrics != nullptr) ++ctx->metrics->removals;
     if (!is_root) {
       // The suppressed outer tuple may be present in ancestor states.
-      JISC_DCHECK(l.parts().size() >= 1);
+      JISC_DCHECK(!l.parts().empty());
       EmitRemoval(l.parts().front(), ctx);
     }
   }

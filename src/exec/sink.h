@@ -2,9 +2,9 @@
 #define JISC_EXEC_SINK_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <utility>
 #include <map>
 #include <unordered_map>
@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/metrics.h"
 #include "types/tuple.h"
 
@@ -163,23 +165,25 @@ class TopKeysSink : public Sink {
 // Serializing adapter: makes any single-threaded sink safe to share across
 // the shards of a parallel executor. Deliveries are mutually excluded, so
 // the downstream sink observes a linearized output stream (ordering across
-// shards is unspecified; within a shard it is preserved).
+// shards is unspecified; within a shard it is preserved). The downstream
+// sink is reached only through the pt-guarded pointer, so the compiler
+// rejects any future delivery path that forgets the lock.
 class LockedSink : public Sink {
  public:
   explicit LockedSink(Sink* downstream) : downstream_(downstream) {}
 
   void OnOutput(const Tuple& tuple, Stamp stamp) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     downstream_->OnOutput(tuple, stamp);
   }
   void OnRetract(const Tuple& tuple, Stamp stamp) override {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     downstream_->OnRetract(tuple, stamp);
   }
 
  private:
-  Sink* downstream_;
-  std::mutex mu_;
+  Sink* const downstream_ JISC_PT_GUARDED_BY(mu_);
+  Mutex mu_;
 };
 
 // Duplicate-eliminating sink used by the Parallel Track strategy: while

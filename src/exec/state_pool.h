@@ -1,6 +1,8 @@
 #ifndef JISC_EXEC_STATE_POOL_H_
 #define JISC_EXEC_STATE_POOL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>

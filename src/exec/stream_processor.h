@@ -1,6 +1,7 @@
 #ifndef JISC_EXEC_STREAM_PROCESSOR_H_
 #define JISC_EXEC_STREAM_PROCESSOR_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/logging.h"

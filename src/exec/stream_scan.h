@@ -1,7 +1,10 @@
 #ifndef JISC_EXEC_STREAM_SCAN_H_
 #define JISC_EXEC_STREAM_SCAN_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <utility>
 
 #include "exec/operator.h"
 #include "stream/window.h"

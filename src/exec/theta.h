@@ -1,6 +1,7 @@
 #ifndef JISC_EXEC_THETA_H_
 #define JISC_EXEC_THETA_H_
 
+#include <cstdint>
 #include <cstdlib>
 
 #include "types/tuple.h"

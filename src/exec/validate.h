@@ -1,6 +1,8 @@
 #ifndef JISC_EXEC_VALIDATE_H_
 #define JISC_EXEC_VALIDATE_H_
 
+#include <cstdint>
+
 #include "common/status.h"
 #include "exec/pipeline_executor.h"
 #include "exec/theta.h"

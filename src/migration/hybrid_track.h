@@ -1,7 +1,10 @@
 #ifndef JISC_MIGRATION_HYBRID_TRACK_H_
 #define JISC_MIGRATION_HYBRID_TRACK_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/pipeline_executor.h"

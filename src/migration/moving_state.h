@@ -1,7 +1,9 @@
 #ifndef JISC_MIGRATION_MOVING_STATE_H_
 #define JISC_MIGRATION_MOVING_STATE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/engine.h"
 #include "core/migration_strategy.h"

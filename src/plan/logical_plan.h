@@ -1,6 +1,7 @@
 #ifndef JISC_PLAN_LOGICAL_PLAN_H_
 #define JISC_PLAN_LOGICAL_PLAN_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

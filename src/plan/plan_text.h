@@ -2,6 +2,7 @@
 #define JISC_PLAN_PLAN_TEXT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"

@@ -1,6 +1,7 @@
 #ifndef JISC_STATE_OPERATOR_STATE_H_
 #define JISC_STATE_OPERATOR_STATE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

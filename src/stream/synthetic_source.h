@@ -1,6 +1,7 @@
 #ifndef JISC_STREAM_SYNTHETIC_SOURCE_H_
 #define JISC_STREAM_SYNTHETIC_SOURCE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>

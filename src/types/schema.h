@@ -2,6 +2,7 @@
 #define JISC_TYPES_SCHEMA_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

@@ -1,6 +1,7 @@
 #ifndef JISC_TYPES_TUPLE_H_
 #define JISC_TYPES_TUPLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -42,7 +42,7 @@ class AdaptiveController {
   };
 
   AdaptiveController(Engine* engine, Options options);
-  AdaptiveController(Engine* engine);  // default options
+  explicit AdaptiveController(Engine* engine);  // default options
 
   // Forwards to Engine::Push, then (periodically) evaluates the plan.
   void Push(const BaseTuple& tuple);

@@ -1,6 +1,7 @@
 #ifndef JISC_WORKLOAD_RUNNER_H_
 #define JISC_WORKLOAD_RUNNER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -1,0 +1,31 @@
+// Seeded -Wthread-safety violation: writes a JISC_GUARDED_BY field without
+// holding its mutex. The ctest case annotation_compile/guarded_by_rejected
+// compiles this with -Werror=thread-safety and REQUIRES the compile to
+// fail (WILL_FAIL) — if it ever compiles, the annotation wiring has
+// silently rotted.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int64_t amount) {
+    balance_ += amount;  // BUG: mu_ not held
+  }
+
+ private:
+  jisc::Mutex mu_;
+  int64_t balance_ JISC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

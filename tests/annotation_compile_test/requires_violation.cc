@@ -1,0 +1,32 @@
+// Seeded -Wthread-safety violation: calls a JISC_REQUIRES method without
+// holding the demanded mutex. Compiled by ctest with -Werror=thread-safety
+// and expected to FAIL (WILL_FAIL), proving the precondition annotations
+// are live.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void InsertLocked() JISC_REQUIRES(mu_) { ++entries_; }
+
+  void Insert() {
+    InsertLocked();  // BUG: mu_ not held
+  }
+
+ private:
+  jisc::Mutex mu_;
+  int64_t entries_ JISC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Insert();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -83,6 +84,67 @@ TEST(BoundedQueueTest, PopUnblocksOnClose) {
   });
   q.Close();
   consumer.join();
+}
+
+// Regression guards for the notify-while-holding-the-lock self-deadlock
+// shape fixed in SpscQueue in PR 1. Audit result: BoundedQueue never had
+// it — every notify is issued after the lock is dropped, and the notify
+// path cannot re-enter mu_ — but these tests pin the property: a parked
+// waiter must be woken by the opposite operation within a tight deadline.
+// On regression the queue is closed so the test fails fast instead of
+// hanging the whole ctest run on join().
+
+TEST(BoundedQueueTest, ParkedConsumerWokenByPush) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    int v = 0;
+    if (q.Pop(&v)) {
+      EXPECT_EQ(v, 42);
+      woke.store(true, std::memory_order_release);
+    }
+  });
+  // Give the consumer time to park on the empty queue, so the Push below
+  // exercises the wake-a-parked-waiter path rather than a fast-path pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(q.Push(42));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!woke.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(woke.load(std::memory_order_acquire))
+      << "parked consumer not woken by Push within the deadline";
+  if (!woke.load(std::memory_order_acquire)) q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ParkedProducerWokenByPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));  // fill to capacity
+  std::atomic<bool> woke{false};
+  std::thread producer([&] {
+    if (q.Push(2)) woke.store(true, std::memory_order_release);
+  });
+  // Give the producer time to park on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!woke.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(woke.load(std::memory_order_acquire))
+      << "parked producer not woken by Pop within the deadline";
+  if (!woke.load(std::memory_order_acquire)) q.Close();
+  producer.join();
+  // The unblocked push must have landed.
+  ASSERT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 2);
 }
 
 TEST(SpscQueueTest, OrderedTransferUnderBackpressure) {

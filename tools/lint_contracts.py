@@ -1,0 +1,494 @@
+#!/usr/bin/env python3
+"""Project lint for JISC's concurrency and hygiene contracts.
+
+Enforces the invariants that clang -Wthread-safety and clang-tidy cannot
+express (thread *identity*, project layering, header hygiene):
+
+  coordinator-only   JISC_COORDINATOR_ONLY methods may not be called from
+                     worker-thread code (WorkerLoop bodies, functions under
+                     a `jisc-worker-entry:` marker, lambdas handed to
+                     std::thread).
+  naked-thread       std::thread may only be constructed/held by the
+                     parallel execution engine; everything else must go
+                     through it.
+  unguarded-mutex    a class holding a Mutex must annotate at least one
+                     field with JISC_GUARDED_BY / JISC_PT_GUARDED_BY (or
+                     carry a waiver); raw std::mutex members are rejected
+                     outright — the analysis cannot see through them.
+  header-hygiene     public headers must stand alone: canonical include
+                     guard (JISC_<PATH>_H_, no #pragma once) and a direct
+                     #include for every std symbol they use.
+
+Waivers: a finding on line N is suppressed when line N or N-1 contains
+    // lint: allow(<check-id>): <reason>
+The reason is mandatory — a bare allow() is itself a finding.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+Used three ways: locally (`python3 tools/lint_contracts.py`), as ctest
+cases (clean tree passes, the seeded misuse in tests/annotation_compile_test
+fails), and by the CI static-analysis job (which also publishes
+--list-checks into the job summary).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files allowed to construct or hold std::thread (the parallel engine) —
+# everything else must be driven through it.
+NAKED_THREAD_ALLOWLIST = {
+    "src/exec/parallel_executor.h",
+    "src/exec/parallel_executor.cc",
+}
+
+# Symbol -> required direct include, for the standalone-header check. The
+# map is deliberately high-precision: each pattern only matches an
+# unambiguous use of the symbol.
+STD_SYMBOLS = [
+    (r"\bstd::string\b", "<string>"),
+    (r"\bstd::vector<", "<vector>"),
+    (r"\bstd::deque<", "<deque>"),
+    (r"\bstd::map<", "<map>"),
+    (r"\bstd::unordered_map<", "<unordered_map>"),
+    (r"\bstd::unordered_set<", "<unordered_set>"),
+    (r"\bstd::(?:unique_ptr|shared_ptr|make_unique|make_shared|weak_ptr)\b",
+     "<memory>"),
+    (r"\bstd::(?:move|forward|pair|make_pair|swap|exchange)\b", "<utility>"),
+    (r"\bstd::function<", "<functional>"),
+    (r"\bstd::atomic\b", "<atomic>"),
+    (r"\bstd::optional<", "<optional>"),
+    (r"\bstd::ostream\b", "<ostream>"),
+    (r"\bstd::(?:ostringstream|istringstream|stringstream)\b", "<sstream>"),
+    (r"\bstd::chrono\b", "<chrono>"),
+    (r"\bstd::thread\b", "<thread>"),
+    (r"\bstd::mutex\b", "<mutex>"),
+    (r"\bstd::condition_variable\b", "<condition_variable>"),
+    (r"\b(?:u?int(?:8|16|32|64)_t)\b", "<cstdint>"),
+    (r"\bsize_t\b", "<cstddef>"),
+]
+
+CHECKS = [
+    ("coordinator-only",
+     "JISC_COORDINATOR_ONLY methods must not be called (unqualified or via "
+     "this->) from worker-thread code: WorkerLoop, jisc-worker-entry "
+     "functions, std::thread lambdas"),
+    ("naked-thread",
+     "std::thread only inside the parallel engine "
+     "(src/exec/parallel_executor.*)"),
+    ("unguarded-mutex",
+     "a class with a Mutex member needs >= 1 JISC_GUARDED_BY / "
+     "JISC_PT_GUARDED_BY field (waiver: lint: allow(unguarded-mutex)); "
+     "raw std::mutex members are always rejected"),
+    ("header-hygiene",
+     "src headers: canonical JISC_<PATH>_H_ guard, no #pragma once, direct "
+     "#include for every std symbol used"),
+]
+
+
+class Finding:
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def strip_comments(text):
+    """Blanks out comments and string literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+WAIVER_RE = re.compile(r"lint:\s*allow\((?P<check>[\w-]+)\)(?P<reason>.*)")
+
+
+def collect_waivers(raw_lines):
+    """line number -> set of waived check ids (a waiver covers its own line
+    and the next)."""
+    waivers = {}
+    bad = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        reason = m.group("reason").lstrip(": ").strip()
+        if not reason:
+            bad.append(idx)
+            continue
+        for covered in (idx, idx + 1):
+            waivers.setdefault(covered, set()).add(m.group("check"))
+    return waivers, bad
+
+
+def match_brace_block(text, open_pos):
+    """Returns the position just past the brace matching text[open_pos]."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def find_worker_regions(code, raw):
+    """Yields (start, end) character ranges of worker-thread code."""
+    regions = []
+    # Named worker entry points.
+    for m in re.finditer(r"\bWorkerLoop\s*\([^)]*\)\s*(?:const\s*)?\{", code):
+        open_pos = code.index("{", m.start())
+        regions.append((open_pos, match_brace_block(code, open_pos)))
+    # Marker comments: the next function body within a few lines (a trailing
+    # ';' first means it annotated a declaration — skip those).
+    for m in re.finditer(r"jisc-worker-entry", raw):
+        tail = code[m.end():m.end() + 500]
+        semi = tail.find(";")
+        brace = tail.find("{")
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue
+        open_pos = m.end() + brace
+        regions.append((open_pos, match_brace_block(code, open_pos)))
+    # Lambdas handed to std::thread.
+    for m in re.finditer(r"\bstd::thread\s*[({]\s*\[", code):
+        brace = code.find("{", m.end())
+        if brace == -1:
+            continue
+        regions.append((brace, match_brace_block(code, brace)))
+    # The marker and the WorkerLoop name usually tag the same body; merge
+    # overlapping regions so each call site is reported once.
+    regions.sort()
+    merged = []
+    for start, end in regions:
+        if merged and start < merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def collect_coordinator_only(files):
+    """Method names carrying JISC_COORDINATOR_ONLY across the file set."""
+    names = {}
+    for path, text in files.items():
+        code = strip_comments(text)
+        for m in re.finditer(r"\bJISC_COORDINATOR_ONLY\b", code):
+            window = code[m.end():m.end() + 300]
+            call = re.search(r"([A-Za-z_]\w*)\s*\(", window)
+            if call:
+                names.setdefault(call.group(1), []).append(
+                    (path, line_of(code, m.start())))
+    return names
+
+
+def check_coordinator_only(files):
+    findings = []
+    marked = collect_coordinator_only(files)
+    if not marked:
+        return findings
+    for path, text in files.items():
+        code = strip_comments(text)
+        raw_lines = text.splitlines()
+        waivers, _ = collect_waivers(raw_lines)
+        for start, end in find_worker_regions(code, text):
+            body = code[start:end]
+            for name, sites in marked.items():
+                for call in re.finditer(r"\b%s\s*\(" % re.escape(name), body):
+                    # Only unqualified and this-> calls can be the marked
+                    # method: a call through another receiver (shard
+                    # processor, ack queue, ...) is that object's contract,
+                    # not the executor's.
+                    prefix = body[max(0, call.start() - 8):call.start()]
+                    if re.search(r"(?:\.|->)$", prefix) and \
+                            not prefix.endswith("this->"):
+                        continue
+                    line = line_of(code, start + call.start())
+                    if "coordinator-only" in waivers.get(line, set()):
+                        continue
+                    decl = f"{sites[0][0]}:{sites[0][1]}"
+                    findings.append(Finding(
+                        path, line, "coordinator-only",
+                        f"worker-thread code calls coordinator-only method "
+                        f"'{name}' (declared at {decl})"))
+    return findings
+
+
+def check_naked_thread(files):
+    findings = []
+    for path, text in files.items():
+        rel = os.path.relpath(path, REPO_ROOT)
+        if not rel.startswith("src" + os.sep):
+            continue
+        if rel.replace(os.sep, "/") in NAKED_THREAD_ALLOWLIST:
+            continue
+        code = strip_comments(text)
+        waivers, _ = collect_waivers(text.splitlines())
+        for m in re.finditer(r"\bstd::thread\b", code):
+            line = line_of(code, m.start())
+            if "naked-thread" in waivers.get(line, set()):
+                continue
+            findings.append(Finding(
+                path, line, "naked-thread",
+                "std::thread outside the parallel engine — route work "
+                "through ParallelExecutor (or waive with a reason)"))
+    return findings
+
+
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+(?:JISC_\w+(?:\([^)]*\))?\s+)?"
+                      r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;]+)?\{")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(jisc::)?(Mutex|std::mutex)\s+[A-Za-z_]\w*\s*[;{=]",
+    re.M)
+
+
+def check_unguarded_mutex(files):
+    findings = []
+    for path, text in files.items():
+        code = strip_comments(text)
+        waivers, _ = collect_waivers(text.splitlines())
+        for cm in CLASS_RE.finditer(code):
+            open_pos = code.index("{", cm.start())
+            body = code[open_pos:match_brace_block(code, open_pos)]
+            body_start_line = line_of(code, open_pos)
+            for mm in MUTEX_MEMBER_RE.finditer(body):
+                line = body_start_line + body[:mm.start()].count("\n") + \
+                    mm.group(0).count("\n")
+                # Re-anchor to the member's own line.
+                line = line_of(code, open_pos + mm.start() +
+                               len(mm.group(0)) - len(mm.group(0).lstrip()))
+                waived = "unguarded-mutex" in waivers.get(line, set()) or \
+                    "unguarded-mutex" in waivers.get(line - 1, set())
+                if mm.group(2) == "std::mutex":
+                    if not waived:
+                        findings.append(Finding(
+                            path, line, "unguarded-mutex",
+                            f"class {cm.group(1)}: raw std::mutex member — "
+                            f"use jisc::Mutex so -Wthread-safety can track "
+                            f"it"))
+                    continue
+                if re.search(r"\bJISC_(?:PT_)?GUARDED_BY\s*\(", body):
+                    continue
+                if waived:
+                    continue
+                findings.append(Finding(
+                    path, line, "unguarded-mutex",
+                    f"class {cm.group(1)} holds a Mutex but no field is "
+                    f"JISC_GUARDED_BY it — annotate the protected state or "
+                    f"waive with a reason"))
+    return findings
+
+
+def check_header_hygiene(files):
+    findings = []
+    for path, text in files.items():
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        if not (rel.startswith("src/") and rel.endswith(".h")):
+            continue
+        code = strip_comments(text)
+        if re.search(r"^\s*#\s*pragma\s+once", code, re.M):
+            findings.append(Finding(
+                path, line_of(code, code.find("#pragma")), "header-hygiene",
+                "#pragma once — use the canonical include guard"))
+        want = "JISC_" + re.sub(r"[/.]", "_", rel[len("src/"):]).upper() + "_"
+        guard = re.search(r"^\s*#\s*ifndef\s+(\S+)", code, re.M)
+        if guard is None or guard.group(1) != want:
+            have = guard.group(1) if guard else "none"
+            findings.append(Finding(
+                path, 1, "header-hygiene",
+                f"include guard must be {want} (found {have})"))
+        includes = set(re.findall(r'#\s*include\s+(<[^>]+>|"[^"]+")', text))
+        missing = {}
+        for pattern, header in STD_SYMBOLS:
+            if header in includes:
+                continue
+            m = re.search(pattern, code)
+            if m:
+                missing.setdefault(header, line_of(code, m.start()))
+        for header, line in sorted(missing.items()):
+            findings.append(Finding(
+                path, line, "header-hygiene",
+                f"uses a symbol from {header} without including it directly "
+                f"(headers must stand alone)"))
+    return findings
+
+
+def check_waiver_reasons(files):
+    findings = []
+    for path, text in files.items():
+        _, bad = collect_waivers(text.splitlines())
+        for line in bad:
+            findings.append(Finding(
+                path, line, "waiver",
+                "lint: allow(...) without a reason — say why"))
+    return findings
+
+
+def gather_files(paths):
+    exts = (".h", ".cc")
+    files = {}
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, _, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        full = os.path.join(dirpath, name)
+                        files[full] = open(full, encoding="utf-8").read()
+        elif os.path.isfile(p):
+            files[p] = open(p, encoding="utf-8").read()
+        else:
+            raise FileNotFoundError(p)
+    return files
+
+
+def run_checks(files):
+    findings = []
+    findings += check_coordinator_only(files)
+    findings += check_naked_thread(files)
+    findings += check_unguarded_mutex(files)
+    findings += check_header_hygiene(files)
+    findings += check_waiver_reasons(files)
+    return findings
+
+
+# --- self test -------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    ("coordinator-only", True, """
+struct Exec {
+  JISC_COORDINATOR_ONLY void Barrier();
+  void WorkerLoop(int i) { Barrier(); }
+};
+"""),
+    ("coordinator-only", False, """
+struct Exec {
+  JISC_COORDINATOR_ONLY void Barrier();
+  void Drive() { Barrier(); }  // not a worker region: fine
+  void WorkerLoop(int i) { (void)i; }
+};
+"""),
+    ("naked-thread", True, """
+#include <thread>
+void Spawn() { std::thread t([] {}); t.join(); }
+"""),
+    ("unguarded-mutex", True, """
+class Cache {
+  Mutex mu_;
+  int hits_ = 0;
+};
+"""),
+    ("unguarded-mutex", True, """
+class Cache {
+  std::mutex mu_;
+  int hits_ JISC_GUARDED_BY(mu_) = 0;
+};
+"""),
+    ("unguarded-mutex", False, """
+class Cache {
+  Mutex mu_;
+  int hits_ JISC_GUARDED_BY(mu_) = 0;
+};
+"""),
+    ("header-hygiene", True, """
+#ifndef JISC_FAKE_H_
+#define JISC_FAKE_H_
+inline size_t Zero() { return 0; }
+#endif  // JISC_FAKE_H_
+"""),
+]
+
+
+def self_test():
+    failures = 0
+    for idx, (check, expect_finding, snippet) in enumerate(SELF_TEST_CASES):
+        # header-hygiene / naked-thread only fire under src/; fake the path.
+        fake = os.path.join(REPO_ROOT, "src", f"selftest_{idx}.h")
+        findings = run_checks({fake: snippet})
+        hits = [f for f in findings if f.check == check]
+        # Ignore incidental hygiene findings when testing other checks.
+        if check != "header-hygiene":
+            hits = [f for f in hits if f.check == check]
+            findings = hits
+        ok = bool(hits) == expect_finding
+        status = "ok" if ok else "FAIL"
+        print(f"[{status}] case {idx}: {check} "
+              f"(expect {'finding' if expect_finding else 'clean'}, "
+              f"got {len(hits)})")
+        if not ok:
+            failures += 1
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the rule inventory (markdown) and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded detection cases and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        print("| check | enforces |")
+        print("|---|---|")
+        for check, description in CHECKS:
+            print(f"| `{check}` | {description} |")
+        return 0
+
+    if args.self_test:
+        return 1 if self_test() else 0
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    try:
+        files = gather_files(paths)
+    except FileNotFoundError as e:
+        print(f"lint_contracts: no such path: {e}", file=sys.stderr)
+        return 2
+    findings = run_checks(files)
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f)
+    if findings:
+        print(f"\nlint_contracts: {len(findings)} finding(s) over "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_contracts: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
