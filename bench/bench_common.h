@@ -2,12 +2,17 @@
 #define JISC_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/trace_export.h"
 #include "plan/transitions.h"
 #include "stream/synthetic_source.h"
 #include "workload/factory.h"
@@ -37,6 +42,33 @@ inline std::vector<StreamId> Order(int streams) {
   std::vector<StreamId> o;
   for (int i = 0; i < streams; ++i) o.push_back(static_cast<StreamId>(i));
   return o;
+}
+
+// Observability export hook shared by the benches. When JISC_OBS_DIR is
+// set, writes <dir>/<name>.trace.json (Chrome trace_event format, loadable
+// in chrome://tracing or ui.perfetto.dev) and <dir>/<name>.metrics.json
+// (flat counters + histogram quantiles). Returns false when the hook is
+// inactive; tools/trace_summary.py renders either file on a terminal.
+inline bool ExportObservability(const std::string& name,
+                                const Observability& obs,
+                                const Metrics* metrics = nullptr) {
+  const char* dir = std::getenv("JISC_OBS_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::string base = std::string(dir) + "/" + name;
+  {
+    std::ofstream f(base + ".trace.json");
+    WriteChromeTrace(f, obs.trace.Snapshot(), obs.trace.dropped(), name);
+  }
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  if (metrics != nullptr) counters = metrics->NamedCounters();
+  std::vector<std::pair<std::string, const Histogram*>> hists = {
+      {"output_delay_ns", &obs.output_delay_ns},
+      {"probe_ns", &obs.probe_ns},
+      {"insert_ns", &obs.insert_ns},
+      {"completion_ns", &obs.completion_ns}};
+  std::ofstream f(base + ".metrics.json");
+  WriteMetricsJson(f, counters, hists);
+  return true;
 }
 
 // One migration-stage measurement following the paper's Section 6.1

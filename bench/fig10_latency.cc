@@ -30,9 +30,16 @@ void RunLatency(benchmark::State& state, ProcessorKind kind, OpKind join) {
     cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
     cfg.seed = 7;
     SyntheticSource src(cfg);
-    BuiltProcessor built =
-        MakeProcessor(kind, plan, WindowSpec::Uniform(kStreams, window));
+    // Per-output delay histograms + migration-phase spans: this is the
+    // bench the paper's Fig. 10 output-delay claims rest on, so it carries
+    // the full observability bundle and exports the trace (JISC_OBS_DIR).
+    Observability obs;
+    BuiltProcessor built = MakeProcessor(
+        kind, plan, WindowSpec::Uniform(kStreams, window), ThetaSpec(),
+        /*parallelism=*/1, &obs);
     WarmUp(built.processor.get(), &src, kStreams, window);
+    // The steady-state warm-up delays would drown the migration-stage tail.
+    obs.output_delay_ns.Reset();
     LatencyResult r = MeasureTransitionLatency(
         built.processor.get(), built.sink.get(), next, &src,
         /*max_tuples=*/window * kStreams);
@@ -41,6 +48,18 @@ void RunLatency(benchmark::State& state, ProcessorKind kind, OpKind join) {
     state.counters["first_output_ms"] = r.first_output_seconds * 1e3;
     state.counters["tuples_until_output"] =
         static_cast<double>(r.tuples_until_output);
+    state.counters["delay_p50_us"] =
+        static_cast<double>(obs.output_delay_ns.P50()) / 1e3;
+    state.counters["delay_p90_us"] =
+        static_cast<double>(obs.output_delay_ns.P90()) / 1e3;
+    state.counters["delay_p99_us"] =
+        static_cast<double>(obs.output_delay_ns.P99()) / 1e3;
+    state.counters["delay_max_us"] =
+        static_cast<double>(obs.output_delay_ns.max()) / 1e3;
+    std::string tag = std::string("fig10_") + ProcessorKindName(kind) + "_" +
+                      (join == OpKind::kHashJoin ? "hash" : "nlj") + "_w" +
+                      std::to_string(window);
+    ExportObservability(tag, obs, &built.processor->metrics());
   }
 }
 

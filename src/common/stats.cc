@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 
 #include "common/logging.h"
 
@@ -27,61 +26,6 @@ double RunningStat::variance() const {
 }
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
-
-namespace {
-// Index of the exponential bucket holding `value`: bucket b holds
-// [2^(b-1), 2^b) for b >= 1, bucket 0 holds {0}.
-int BucketIndex(uint64_t value) {
-  if (value == 0) return 0;
-  return 64 - __builtin_clzll(value);
-}
-}  // namespace
-
-Histogram::Histogram() : buckets_(kBuckets, 0) {}
-
-void Histogram::Add(uint64_t value) {
-  int idx = BucketIndex(value);
-  JISC_DCHECK(idx < kBuckets);
-  buckets_[idx] += 1;
-  ++count_;
-  sum_ += value;
-  max_ = std::max(max_, value);
-}
-
-void Histogram::Merge(const Histogram& other) {
-  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  sum_ += other.sum_;
-  max_ = std::max(max_, other.max_);
-}
-
-double Histogram::mean() const {
-  if (count_ == 0) return 0;
-  return static_cast<double>(sum_) / static_cast<double>(count_);
-}
-
-uint64_t Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  int64_t target = static_cast<int64_t>(std::ceil(q * count_));
-  target = std::max<int64_t>(target, 1);
-  int64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= target) {
-      // Upper bound of bucket i.
-      return i == 0 ? 0 : (1ULL << i) - 1;
-    }
-  }
-  return max_;
-}
-
-std::string Histogram::ToString() const {
-  std::ostringstream os;
-  os << "count=" << count_ << " mean=" << mean() << " p50=" << Percentile(0.5)
-     << " p99=" << Percentile(0.99) << " max=" << max_;
-  return os.str();
-}
 
 ThroughputSeries::ThroughputSeries(uint64_t bucket_width)
     : bucket_width_(bucket_width) {

@@ -2,7 +2,6 @@
 #define JISC_COMMON_STATS_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 namespace jisc {
@@ -28,30 +27,10 @@ class RunningStat {
   double max_ = 0;
 };
 
-// Fixed-bucket latency/size histogram with percentile queries. Buckets are
-// exponential (powers of 2) over [0, 2^62).
-class Histogram {
- public:
-  Histogram();
-
-  void Add(uint64_t value);
-  void Merge(const Histogram& other);
-
-  int64_t count() const { return count_; }
-  uint64_t max() const { return max_; }
-  double mean() const;
-  // Approximate percentile (bucket upper bound); q in [0, 1].
-  uint64_t Percentile(double q) const;
-
-  std::string ToString() const;
-
- private:
-  static constexpr int kBuckets = 64;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t max_ = 0;
-};
+// The latency/size histogram that used to live here moved to
+// obs/histogram.h: the observability layer's log-linear jisc::Histogram is
+// lock-free, mergeable across shards, and bounds the relative bucket error,
+// all of which the old power-of-2 sketch lacked.
 
 // Throughput series: records per-bucket event counts against a logical clock
 // (e.g. tuples processed per 10k-tuple interval) so migration-stage drops are

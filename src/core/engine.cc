@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "exec/validate.h"
+#include "obs/trace.h"
 
 namespace jisc {
 
@@ -27,7 +28,13 @@ Engine::Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
 uint64_t Engine::StateMemory() const { return StateMemoryBytes(*exec_); }
 
 void Engine::WireExecutor() {
-  exec_->SetSink(sink_);
+  if (options_.obs != nullptr) {
+    obs_sink_.Wire(sink_, options_.obs);
+    exec_->SetSink(&obs_sink_);
+    exec_->SetObservability(options_.obs, options_.obs_track);
+  } else {
+    exec_->SetSink(sink_);
+  }
   exec_->SetMetrics(&metrics_);
   exec_->SetFreshness(options_.track_freshness ? &freshness_ : nullptr);
   exec_->SetCompletionHandler(strategy_->handler());
@@ -43,6 +50,7 @@ void Engine::Push(const BaseTuple& tuple) {
 }
 
 void Engine::Admit(const BaseTuple& tuple) {
+  if (options_.obs != nullptr) obs_sink_.BeginEvent();
   Stamp stamp = AllocateStamp();
   max_seq_seen_ = std::max(max_seq_seen_, tuple.seq);
   strategy_->OnArrival(this, tuple, stamp);
@@ -56,6 +64,7 @@ void Engine::PushExpiry(const BaseTuple& tuple) {
   // quiescence under its own stamp. Counted toward the maintain cadence so
   // sharded JISC engines still sweep completion detection under expiry-
   // heavy phases.
+  if (options_.obs != nullptr) obs_sink_.BeginEvent();
   Stamp stamp = AllocateStamp();
   exec_->PushExpiry(tuple, stamp);
   exec_->RunUntilIdle();
@@ -91,7 +100,15 @@ Status Engine::RequestTransition(const LogicalPlan& new_plan) {
   }
   // Section 4.1 (safe plan transition): all tuples received before the
   // transition are processed through the old plan first (buffer clearing).
-  Drain();
+  Observability* obs = options_.obs;
+  TraceScope transition(obs ? &obs->trace : nullptr, "transition",
+                        "migration", options_.obs_track);
+  transition.SetArg("buffered", buffer_.size());
+  {
+    TraceScope drain(obs ? &obs->trace : nullptr, "drain", "migration",
+                     options_.obs_track);
+    Drain();
+  }
   freshness_.BumpGeneration();
   ++transitions_;
   Status s = strategy_->Migrate(this, new_plan);

@@ -45,6 +45,13 @@ class Engine : public StreamProcessor {
     // the single-threaded path (parallelism <= 1) as the default and the
     // equivalence oracle.
     int parallelism = 1;
+    // Observability bundle (latency histograms + migration trace). nullptr
+    // (the default) keeps every clock read and histogram update out of the
+    // hot path; see obs/observability.h. obs_track labels this engine's
+    // trace spans (0 = single-threaded/coordinator, shard + 1 for shard
+    // engines under the parallel executor).
+    Observability* obs = nullptr;
+    int obs_track = 0;
   };
 
   Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
@@ -80,6 +87,9 @@ class Engine : public StreamProcessor {
   Metrics& mutable_metrics() { return metrics_; }
   FreshnessTracker& freshness() { return freshness_; }
   MigrationStrategy& strategy() { return *strategy_; }
+  Observability* obs() { return options_.obs; }
+  int obs_track() const { return options_.obs_track; }
+  // The user-facing sink (never the internal OutputDelaySink wrapper).
   Sink* sink() { return sink_; }
   Seq max_seq_seen() const { return max_seq_seen_; }
   uint64_t transitions() const { return transitions_; }
@@ -108,6 +118,9 @@ class Engine : public StreamProcessor {
   WindowSpec windows_;
   Options options_;
   Sink* sink_;
+  // Interposed between the executor and sink_ when options_.obs is set:
+  // stamps each output with its delay since event admission.
+  OutputDelaySink obs_sink_;
   std::unique_ptr<MigrationStrategy> strategy_;
   Metrics metrics_;
   FreshnessTracker freshness_;

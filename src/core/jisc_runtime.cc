@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "exec/nested_loops_join.h"
+#include "obs/trace.h"
 #include "plan/plan_diff.h"
 
 namespace jisc {
@@ -27,12 +28,21 @@ Stamp JiscRuntime::SinceStampFor(const Operator* op) const {
 
 Status JiscRuntime::Migrate(Engine* engine, const LogicalPlan& new_plan) {
   engine_ = engine;
+  Observability* obs = engine->obs();
+  TraceRecorder* rec = obs != nullptr ? &obs->trace : nullptr;
+  int track = engine->obs_track();
   PipelineExecutor& old_exec = engine->executor();
 
   // Definition 1 refined by Section 4.5: completeness in the new plan
   // requires existence *and* completeness in the old plan.
-  StateSnapshot snapshot = old_exec.SnapshotCompleteness();
-  PlanDiff diff = DiffPlans(new_plan, snapshot);
+  StateSnapshot snapshot;
+  PlanDiff diff;
+  {
+    TraceScope span(rec, "plan-diff", "migration", track);
+    snapshot = old_exec.SnapshotCompleteness();
+    diff = DiffPlans(new_plan, snapshot);
+    span.SetArg("incomplete", static_cast<uint64_t>(diff.NumIncomplete()));
+  }
 
   // Provenance of still-incomplete carried states: keep the earliest
   // since-stamp / boundary so their old combinations stay covered.
@@ -48,6 +58,7 @@ Status JiscRuntime::Migrate(Engine* engine, const LogicalPlan& new_plan) {
   }
   trackers_.clear();
 
+  TraceScope carryover(rec, "state-carryover", "migration", track);
   StatePool pool = old_exec.TakeAllStates();
   auto new_exec = std::make_unique<PipelineExecutor>(
       new_plan, engine->windows(), engine->exec_options(), &pool);
@@ -160,14 +171,31 @@ void JiscRuntime::OnArrival(Engine* engine, const BaseTuple& base,
 void JiscRuntime::EnsureCompleted(const Tuple& probe, Operator* opposite,
                                   ExecContext* ctx) {
   if (opposite->state().complete()) return;
+  // One clock-read pair feeds both the completion_ns histogram and the
+  // per-value "jit-completion" trace span (recorded manually rather than
+  // through TraceScope so the duration is not measured twice).
+  Observability* obs = ctx->obs;
+  uint64_t t0 = obs != nullptr ? obs->trace.NowNs() : 0;
   if (opposite->state().index() == StateIndex::kList) {
     CompleteFull(opposite, ctx->stamp, ctx->metrics);
-    return;
-  }
-  if (current_plan_left_deep_ && options_.use_left_deep_procedure) {
+  } else if (current_plan_left_deep_ && options_.use_left_deep_procedure) {
     CompleteForKeyLeftDeep(opposite, probe.key(), ctx->stamp, ctx->metrics);
   } else {
     CompleteForKey(opposite, probe.key(), ctx->stamp, ctx->metrics);
+  }
+  if (obs != nullptr) {
+    uint64_t now = obs->trace.NowNs();
+    obs->completion_ns.Record(now - t0);
+    TraceSpan span;
+    span.name = "jit-completion";
+    span.category = "migration";
+    span.start_ns = t0;
+    span.dur_ns = now - t0;
+    span.track = ctx->obs_track;
+    span.depth = 0;
+    span.arg_name = "key";
+    span.arg = static_cast<uint64_t>(probe.key());
+    obs->trace.Record(span);
   }
 }
 

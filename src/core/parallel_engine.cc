@@ -16,6 +16,7 @@ std::unique_ptr<StreamProcessor> MakeEngineProcessor(
                                     options);
   }
   parallel_options.num_shards = options.parallelism;
+  parallel_options.obs = options.obs;
   Engine::Options shard_options = options;
   shard_options.parallelism = 1;
   shard_options.exec.external_expiry = true;
@@ -23,9 +24,14 @@ std::unique_ptr<StreamProcessor> MakeEngineProcessor(
       [plan, windows, shard_options,
        strategy_factory = std::move(strategy_factory)](Sink* shard_sink,
                                                        int shard) {
-        (void)shard;
+        // Shards share one Observability bundle (lock-free histograms,
+        // mutex-guarded trace ring); each labels its spans with its own
+        // track so the exported trace shows per-shard timelines. Track 0
+        // stays the coordinator's.
+        Engine::Options opts = shard_options;
+        if (opts.obs != nullptr) opts.obs_track = shard + 1;
         return std::make_unique<Engine>(plan, windows, shard_sink,
-                                        strategy_factory(), shard_options);
+                                        strategy_factory(), opts);
       };
   return std::make_unique<ParallelExecutor>(plan, windows, sink,
                                             shard_factory, parallel_options);

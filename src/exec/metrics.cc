@@ -23,6 +23,25 @@ Metrics& Metrics::operator+=(const Metrics& o) {
   return *this;
 }
 
+std::vector<std::pair<std::string, uint64_t>> Metrics::NamedCounters() const {
+  return {{"arrivals", arrivals},
+          {"messages", messages},
+          {"probes", probes},
+          {"probe_entries", probe_entries},
+          {"matches", matches},
+          {"inserts", inserts},
+          {"removals", removals},
+          {"outputs", outputs},
+          {"retractions", retractions},
+          {"completions", completions},
+          {"completion_inserts", completion_inserts},
+          {"completion_dedup_hits", completion_dedup_hits},
+          {"eddy_visits", eddy_visits},
+          {"dedup_checks", dedup_checks},
+          {"purge_scan_entries", purge_scan_entries},
+          {"work_units", WorkUnits()}};
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream os;
   os << "arrivals=" << arrivals << " messages=" << messages

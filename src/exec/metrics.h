@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace jisc {
 
@@ -66,6 +68,21 @@ class Counter {
 // *shapes* reproducible independently of machine noise. Each engine (and
 // each shard of a parallel executor) owns one Metrics; increments are
 // thread-safe, so cross-shard aggregation never races with in-flight work.
+//
+// Snapshot-consistency contract (what copying a Metrics means while
+// workers are incrementing, i.e. what ParallelExecutor::MetricsApprox()
+// returns): the copy is member-wise, one atomic load per counter, so
+//  (1) every individual counter value is an exact point-in-time read —
+//      never torn, never partial;
+//  (2) the counters are NOT mutually consistent — `matches` may already
+//      reflect an event whose `probes` increment was read a moment
+//      earlier; derived sums (WorkUnits) inherit this slack; and
+//  (3) because execution only ever increments these counters, each
+//      counter — and therefore WorkUnits() — is monotonically
+//      non-decreasing across successive approx snapshots. Monitoring
+//      loops may rely on (3); anything needing cross-counter exactness
+//      must quiesce first (the JISC_COORDINATOR_ONLY metrics() path).
+// Locked in by parallel_test.cc (MetricsApproxTotalsAreMonotone).
 struct Metrics {
   Counter arrivals;          // base tuples admitted
   Counter messages;          // operator queue messages processed
@@ -95,6 +112,12 @@ struct Metrics {
   Metrics& operator+=(const Metrics& o);
 
   std::string ToString() const;
+
+  // Name/value snapshot of every counter, declaration order. This is the
+  // bridge to the metrics JSON exporter (obs/trace_export.h), which takes
+  // plain pairs so the obs library never depends on exec. Reads follow the
+  // per-counter contract above.
+  std::vector<std::pair<std::string, uint64_t>> NamedCounters() const;
 };
 
 }  // namespace jisc

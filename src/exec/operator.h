@@ -10,6 +10,7 @@
 #include "exec/message.h"
 #include "exec/metrics.h"
 #include "exec/sink.h"
+#include "obs/observability.h"
 #include "plan/logical_plan.h"
 #include "state/operator_state.h"
 #include "types/tuple.h"
@@ -28,6 +29,12 @@ struct ExecContext {
   class CompletionHandler* completion = nullptr;  // installed by JISC
   FreshnessTracker* freshness = nullptr;          // installed by the engine
   Metrics* metrics = nullptr;
+  // Observability bundle (nullptr = off, the default): service-time
+  // histograms and the migration-phase trace recorder. obs_track is the
+  // logical trace track of the engine driving this executor (0 for the
+  // single-threaded engine, shard + 1 under the parallel executor).
+  Observability* obs = nullptr;
+  int obs_track = 0;
 };
 
 // Strategy hook consulted by binary operators when they are about to probe

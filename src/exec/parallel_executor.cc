@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace jisc {
 
@@ -137,6 +138,10 @@ Status ParallelExecutor::BroadcastAndWait(const ShardEvent& ev) {
 Status ParallelExecutor::RequestTransition(const LogicalPlan& new_plan) {
   Status shardable = ValidateShardable(new_plan);
   if (!shardable.ok()) return shardable;
+  // Coordinator-side view of the whole broadcast (track 0); each shard
+  // records its own migration-phase spans on track shard + 1.
+  TraceScope span(options_.obs != nullptr ? &options_.obs->trace : nullptr,
+                  "transition-broadcast", "migration", /*track=*/0);
   ShardEvent ev;
   ev.kind = ShardEvent::Kind::kTransition;
   ev.plan = std::make_shared<const LogicalPlan>(new_plan);
@@ -149,6 +154,8 @@ Status ParallelExecutor::RequestTransition(const LogicalPlan& new_plan) {
 }
 
 void ParallelExecutor::Barrier() {
+  TraceScope span(options_.obs != nullptr ? &options_.obs->trace : nullptr,
+                  "barrier", "migration", /*track=*/0);
   ShardEvent ev;
   ev.kind = ShardEvent::Kind::kBarrier;
   Status s = BroadcastAndWait(ev);

@@ -69,6 +69,10 @@ class ParallelExecutor : public StreamProcessor {
     size_t queue_capacity = 256;
     // Events accumulated per shard before a queue hand-off.
     size_t batch_size = 64;
+    // Observability bundle (nullptr = off). The coordinator records its
+    // broadcast/barrier spans on track 0; shard processors (wired by the
+    // factory) record on track shard + 1 into the same bundle.
+    Observability* obs = nullptr;
   };
 
   // Builds the worker for one shard. `shard_sink` delivers the shard's

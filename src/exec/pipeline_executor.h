@@ -52,6 +52,10 @@ class PipelineExecutor {
     ctx_.freshness = freshness;
   }
   void SetMetrics(Metrics* metrics) { ctx_.metrics = metrics; }
+  void SetObservability(Observability* obs, int track) {
+    ctx_.obs = obs;
+    ctx_.obs_track = track;
+  }
 
   // --- driving ---
 

@@ -15,6 +15,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "exec/metrics.h"
+#include "obs/observability.h"
 #include "types/tuple.h"
 
 namespace jisc {
@@ -160,6 +161,42 @@ class TopKeysSink : public Sink {
 
  private:
   std::unordered_map<JoinKey, int64_t, I64Hash> counts_;
+};
+
+// Observability adapter: records each output's delay — the processor calls
+// BeginEvent() when it admits an external event, and every output delivered
+// before the next BeginEvent() is charged now - admission into
+// obs->output_delay_ns. During a migration this captures exactly the
+// paper's Fig. 10 output-delay quantity: an arrival whose probe triggers
+// just-in-time completion (or that queued behind an eager state rebuild)
+// delivers its outputs late, and the lateness lands in the histogram's
+// tail. Single-threaded like the sinks it wraps; under the parallel
+// executor each shard engine owns its own wrapper (its own admission
+// clock) while the histogram they record into is shared and lock-free.
+class OutputDelaySink : public Sink {
+ public:
+  // Both pointers must outlive the sink; wiring is deferred because the
+  // owning processor constructs its sink chain before options are applied.
+  void Wire(Sink* downstream, Observability* obs) {
+    downstream_ = downstream;
+    obs_ = obs;
+  }
+
+  // Marks the admission of the next external event.
+  void BeginEvent() { admit_ns_ = obs_->trace.NowNs(); }
+
+  void OnOutput(const Tuple& tuple, Stamp stamp) override {
+    obs_->output_delay_ns.Record(obs_->trace.NowNs() - admit_ns_);
+    downstream_->OnOutput(tuple, stamp);
+  }
+  void OnRetract(const Tuple& tuple, Stamp stamp) override {
+    downstream_->OnRetract(tuple, stamp);
+  }
+
+ private:
+  Sink* downstream_ = nullptr;
+  Observability* obs_ = nullptr;
+  uint64_t admit_ns_ = 0;
 };
 
 // Serializing adapter: makes any single-threaded sink safe to share across

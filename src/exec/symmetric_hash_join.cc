@@ -17,8 +17,13 @@ void SymmetricHashJoin::OnData(const Tuple& tuple, Side from,
   if (!opposite->state().complete() && ctx->completion != nullptr) {
     ctx->completion->EnsureCompleted(tuple, opposite, ctx);
   }
+  // Service-time histograms are opt-in on top of observability itself:
+  // two steady-clock reads per probe/insert is real hot-path cost.
+  bool timed = ctx->obs != nullptr && ctx->obs->options.record_service_times;
+  uint64_t t0 = timed ? ctx->obs->trace.NowNs() : 0;
   std::vector<const Tuple*> matches;
   opposite->state().CollectMatchPtrs(tuple.key(), ctx->stamp, &matches);
+  if (timed) ctx->obs->probe_ns.Record(ctx->obs->trace.NowNs() - t0);
   if (ctx->metrics != nullptr) {
     ++ctx->metrics->probes;
     ctx->metrics->probe_entries += matches.size();
@@ -26,7 +31,9 @@ void SymmetricHashJoin::OnData(const Tuple& tuple, Side from,
   }
   for (const Tuple* m : matches) {
     Tuple out = Tuple::Concat(tuple, *m, ctx->stamp, tuple.fresh());
+    if (timed) t0 = ctx->obs->trace.NowNs();
     state_->Insert(out, ctx->stamp);
+    if (timed) ctx->obs->insert_ns.Record(ctx->obs->trace.NowNs() - t0);
     if (ctx->metrics != nullptr) ++ctx->metrics->inserts;
     EmitData(std::move(out), ctx);
   }

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "exec/validate.h"
+#include "obs/trace.h"
 #include "plan/plan_diff.h"
 
 namespace jisc {
@@ -16,17 +17,22 @@ HybridTrackProcessor::HybridTrackProcessor(const LogicalPlan& plan,
 HybridTrackProcessor::HybridTrackProcessor(const LogicalPlan& plan,
                                            const WindowSpec& windows,
                                            Sink* sink, Options options)
-    : windows_(windows), options_(options), dedup_(sink) {
+    : windows_(windows),
+      options_(options),
+      dedup_(options.obs != nullptr ? static_cast<Sink*>(&obs_sink_) : sink) {
+  if (options_.obs != nullptr) obs_sink_.Wire(sink, options_.obs);
   dedup_.set_metrics(&metrics_);
   auto exec =
       std::make_unique<PipelineExecutor>(plan, windows_, options_.exec);
   exec->SetSink(&dedup_);
   exec->SetMetrics(&metrics_);
+  exec->SetObservability(options_.obs, options_.obs_track);
   plans_.push_back(std::move(exec));
   boundaries_.push_back(0);
 }
 
 void HybridTrackProcessor::Push(const BaseTuple& tuple) {
+  if (options_.obs != nullptr) obs_sink_.BeginEvent();
   Stamp stamp = next_stamp_++;
   max_seq_seen_ = std::max(max_seq_seen_, tuple.seq);
   for (auto& plan : plans_) {
@@ -54,6 +60,9 @@ Status HybridTrackProcessor::RequestTransition(const LogicalPlan& new_plan) {
     return Status::InvalidArgument(
         "new plan must cover the same streams as the old plan");
   }
+  Observability* obs = options_.obs;
+  TraceRecorder* rec = obs != nullptr ? &obs->trace : nullptr;
+  TraceScope transition(rec, "transition", "migration", options_.obs_track);
   // State matching (the Moving State ingredient): deep-copy every shared
   // *authoritative* state from the newest live plan into the new one. A
   // donor state is authoritative iff it is flagged complete — states the
@@ -63,18 +72,24 @@ Status HybridTrackProcessor::RequestTransition(const LogicalPlan& new_plan) {
   // windows start full either way.
   StatePool pool;
   last_states_copied_ = 0;
-  for (int id = 0; id < new_plan.num_nodes(); ++id) {
-    const PlanNode& n = new_plan.node(id);
-    Operator* source = donor.OpForStreams(n.streams);
-    if (source == nullptr || !source->state().complete()) continue;
-    pool.Put(source->state().Clone());
-    ++last_states_copied_;
-    metrics_.inserts += source->state().live_size();  // the copy cost
+  std::unique_ptr<PipelineExecutor> exec;
+  {
+    TraceScope span(rec, "state-copy", "migration", options_.obs_track);
+    for (int id = 0; id < new_plan.num_nodes(); ++id) {
+      const PlanNode& n = new_plan.node(id);
+      Operator* source = donor.OpForStreams(n.streams);
+      if (source == nullptr || !source->state().complete()) continue;
+      pool.Put(source->state().Clone());
+      ++last_states_copied_;
+      metrics_.inserts += source->state().live_size();  // the copy cost
+    }
+    span.SetArg("states_copied", last_states_copied_);
+    exec = std::make_unique<PipelineExecutor>(new_plan, windows_,
+                                              options_.exec, &pool);
   }
-  auto exec = std::make_unique<PipelineExecutor>(new_plan, windows_,
-                                                 options_.exec, &pool);
   exec->SetSink(&dedup_);
   exec->SetMetrics(&metrics_);
+  exec->SetObservability(options_.obs, options_.obs_track);
   // States that start empty are marked incomplete so expiry propagation
   // never stops at them (their combinations exist, materialized, in the
   // complete ancestors we just copied). Unlike JISC there is no on-demand
@@ -105,12 +120,14 @@ Status HybridTrackProcessor::RequestTransition(const LogicalPlan& new_plan) {
     // migration stage at all — the one transition shape where the hybrid
     // family clearly beats plain Parallel Track.
     while (plans_.size() > 1) {
+      TraceScope span(rec, "plan-discard", "migration", options_.obs_track);
       plans_.front()->root()->state().ForEachLive(
           [this](const Tuple& t) { dedup_.NoteDiscard(t); });
       plans_.erase(plans_.begin());
       boundaries_.erase(boundaries_.begin());
     }
   }
+  transition.SetArg("live_plans", plans_.size());
   return Status::Ok();
 }
 
@@ -121,8 +138,16 @@ uint64_t HybridTrackProcessor::StateMemory() const {
 }
 
 void HybridTrackProcessor::CheckDiscard() {
+  Observability* obs = options_.obs;
+  TraceRecorder* rec = obs != nullptr ? &obs->trace : nullptr;
   while (plans_.size() > 1) {
-    if (!plans_.front()->AllStatesNewerThan(boundaries_[1])) break;
+    bool purgeable;
+    {
+      TraceScope span(rec, "purge-scan", "migration", options_.obs_track);
+      purgeable = plans_.front()->AllStatesNewerThan(boundaries_[1]);
+    }
+    if (!purgeable) break;
+    TraceScope span(rec, "plan-discard", "migration", options_.obs_track);
     plans_.front()->root()->state().ForEachLive(
         [this](const Tuple& t) { dedup_.NoteDiscard(t); });
     plans_.erase(plans_.begin());

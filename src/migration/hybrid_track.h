@@ -28,6 +28,9 @@ class HybridTrackProcessor : public StreamProcessor {
     PipelineExecutor::Options exec;
     // Events between purge-detection scans of the oldest plan's states.
     uint64_t purge_check_period = 32;
+    // Observability bundle (nullptr = off); see obs/observability.h.
+    Observability* obs = nullptr;
+    int obs_track = 0;
   };
 
   HybridTrackProcessor(const LogicalPlan& plan, const WindowSpec& windows,
@@ -52,6 +55,9 @@ class HybridTrackProcessor : public StreamProcessor {
   WindowSpec windows_;
   Options options_;
   Metrics metrics_;
+  // Delay sink sits between dedup elimination and the user sink, so each
+  // output's delay covers the full per-event work across all live plans.
+  OutputDelaySink obs_sink_;
   DedupSink dedup_;
   std::vector<std::unique_ptr<PipelineExecutor>> plans_;
   std::vector<Seq> boundaries_;

@@ -2,39 +2,57 @@
 
 #include "common/logging.h"
 #include "migration/state_materializer.h"
+#include "obs/trace.h"
 #include "plan/plan_diff.h"
 
 namespace jisc {
 
 Status MovingStateStrategy::Migrate(Engine* engine,
                                     const LogicalPlan& new_plan) {
+  Observability* obs = engine->obs();
+  TraceRecorder* rec = obs != nullptr ? &obs->trace : nullptr;
+  int track = engine->obs_track();
   PipelineExecutor& old_exec = engine->executor();
-  StateSnapshot snapshot = old_exec.SnapshotCompleteness();
-  PlanDiff diff = DiffPlans(new_plan, snapshot);
+  StateSnapshot snapshot;
+  PlanDiff diff;
+  {
+    TraceScope span(rec, "plan-diff", "migration", track);
+    snapshot = old_exec.SnapshotCompleteness();
+    diff = DiffPlans(new_plan, snapshot);
+    span.SetArg("incomplete", static_cast<uint64_t>(diff.NumIncomplete()));
+  }
 
   // State matching: move every state the two plans share.
-  StatePool pool = old_exec.TakeAllStates();
-  auto new_exec = std::make_unique<PipelineExecutor>(
-      new_plan, engine->windows(), engine->exec_options(), &pool);
+  std::unique_ptr<PipelineExecutor> new_exec;
+  {
+    TraceScope span(rec, "state-copy", "migration", track);
+    StatePool pool = old_exec.TakeAllStates();
+    new_exec = std::make_unique<PipelineExecutor>(
+        new_plan, engine->windows(), engine->exec_options(), &pool);
+  }
 
   // State computing: eagerly materialize everything missing, bottom-up.
   // Execution is halted throughout (this all happens inside the transition).
   Stamp stamp = engine->AllocateStamp();
   Metrics& metrics = engine->mutable_metrics();
   uint64_t inserts_before = metrics.inserts;
-  for (int id = 0; id < new_plan.num_nodes(); ++id) {
-    Operator* op = new_exec->op(id);
-    if (op->kind() == OpKind::kScan) {
-      op->state().MarkComplete();
-      continue;
+  {
+    TraceScope span(rec, "state-compute", "migration", track);
+    for (int id = 0; id < new_plan.num_nodes(); ++id) {
+      Operator* op = new_exec->op(id);
+      if (op->kind() == OpKind::kScan) {
+        op->state().MarkComplete();
+        continue;
+      }
+      if (diff.node_complete[id]) {
+        op->state().MarkComplete();
+        continue;
+      }
+      MaterializeStateEagerly(op, stamp, &metrics);
     }
-    if (diff.node_complete[id]) {
-      op->state().MarkComplete();
-      continue;
-    }
-    MaterializeStateEagerly(op, stamp, &metrics);
+    last_inserts_ = metrics.inserts - inserts_before;
+    span.SetArg("inserts", last_inserts_);
   }
-  last_inserts_ = metrics.inserts - inserts_before;
   engine->ReplaceExecutor(std::move(new_exec));
   return Status::Ok();
 }

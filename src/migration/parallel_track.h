@@ -33,6 +33,9 @@ class ParallelTrackProcessor : public StreamProcessor {
     // old plan is discarded") whose cost it calls significant; 32 events
     // between full-state scans reflects that aggressive regime.
     uint64_t purge_check_period = 32;
+    // Observability bundle (nullptr = off); see obs/observability.h.
+    Observability* obs = nullptr;
+    int obs_track = 0;
   };
 
   ParallelTrackProcessor(const LogicalPlan& plan, const WindowSpec& windows,
@@ -56,6 +59,9 @@ class ParallelTrackProcessor : public StreamProcessor {
   WindowSpec windows_;
   Options options_;
   Metrics metrics_;
+  // Delay sink sits between dedup elimination and the user sink, so each
+  // output's delay covers the full per-event work across all live plans.
+  OutputDelaySink obs_sink_;
   DedupSink dedup_;
   std::vector<std::unique_ptr<PipelineExecutor>> plans_;
   // boundaries_[i]: first sequence number admitted after plans_[i] started.

@@ -1,0 +1,78 @@
+#ifndef JISC_OBS_OBSERVABILITY_H_
+#define JISC_OBS_OBSERVABILITY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace jisc {
+
+// The observability bundle threaded through the execution layer: latency /
+// service-time histograms plus the migration-phase trace recorder. One
+// instance is shared by every component of a processor — the engine, its
+// migration strategy, and (under the parallel executor) every shard engine
+// and worker thread records into the same bundle: histograms are lock-free
+// (obs/histogram.h) and the trace ring is internally locked (obs/trace.h).
+//
+// Null-pointer discipline: the execution layer carries `Observability*`
+// that is nullptr when observability is off (the default), and every
+// recording site is gated on it — disabled runs take zero clock reads and
+// zero atomic increments beyond the pointer test. This is what the
+// determinism_test tracing-on/off battery locks in: enabling observability
+// must not change a single output tuple or deterministic work counter.
+struct Observability {
+  struct Options {
+    // Ring capacity of the span recorder.
+    size_t trace_capacity = 1 << 16;
+    // Record per-operator probe/insert service times. Two steady-clock
+    // reads per state probe and per insert — measurable on the hot path,
+    // so it is separable from span tracing and off by default even when
+    // observability itself is on.
+    bool record_service_times = false;
+  };
+
+  Observability() : Observability(Options()) {}
+  explicit Observability(Options opts)
+      : options(opts), trace(opts.trace_capacity) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  Options options;
+
+  // Per-tuple output delay: admission of the triggering event into a shard
+  // engine -> delivery of the output at the sink, in nanoseconds. During a
+  // migration this is exactly the paper's Fig. 10 quantity: a probe that
+  // triggers just-in-time completion (or a post-Moving-State push that paid
+  // the eager rebuild inside the transition) surfaces here as tail latency.
+  Histogram output_delay_ns;
+
+  // Per-operator service times (only when options.record_service_times):
+  // a state probe issued by a join, and a state insert, in nanoseconds.
+  Histogram probe_ns;
+  Histogram insert_ns;
+
+  // Service time of one per-value just-in-time completion (the
+  // EnsureCompleted call that found an incomplete state), in nanoseconds.
+  Histogram completion_ns;
+
+  // Migration-phase spans (plan-diff, state copy, per-value completion,
+  // drain, purge scans, shard transitions...). See DESIGN.md
+  // "Observability" for the span taxonomy.
+  TraceRecorder trace;
+
+  // Merges another bundle's histograms into this one (per-shard bundles
+  // aggregated after a run; spans stay with their own recorder).
+  void MergeHistograms(const Observability& other) {
+    output_delay_ns.Merge(other.output_delay_ns);
+    probe_ns.Merge(other.probe_ns);
+    insert_ns.Merge(other.insert_ns);
+    completion_ns.Merge(other.completion_ns);
+  }
+};
+
+}  // namespace jisc
+
+#endif  // JISC_OBS_OBSERVABILITY_H_

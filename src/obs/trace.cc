@@ -1,0 +1,66 @@
+#include "obs/trace.h"
+
+namespace jisc {
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::Record(const TraceSpan& span) {
+  MutexLock lk(&mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+    ++size_;
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  // Full: the slot at next_ holds the oldest span; evict it.
+  ring_[next_] = span;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  MutexLock lk(&mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(size_);
+  if (size_ < capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    // next_ is the oldest surviving span once the ring has wrapped.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  MutexLock lk(&mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Clear() {
+  MutexLock lk(&mu_);
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void TraceInstant(TraceRecorder* recorder, const char* name,
+                  const char* category, int track, const char* arg_name,
+                  uint64_t arg) {
+  if (recorder == nullptr) return;
+  TraceSpan span;
+  span.name = name;
+  span.category = category;
+  span.track = track;
+  span.start_ns = recorder->NowNs();
+  span.dur_ns = 0;
+  span.arg_name = arg_name;
+  span.arg = arg;
+  recorder->Record(span);
+}
+
+}  // namespace jisc

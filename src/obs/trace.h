@@ -1,0 +1,141 @@
+#ifndef JISC_OBS_TRACE_H_
+#define JISC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace jisc {
+
+// One timestamped migration-phase (or service) span. Timestamps are
+// nanoseconds since the owning TraceRecorder's epoch (steady clock), so
+// spans from every thread share one timeline. `name`/`arg_name` must be
+// string literals (or otherwise outlive the recorder): spans are recorded
+// on hot-ish paths and must not allocate.
+struct TraceSpan {
+  const char* name = "";       // e.g. "jit-completion"
+  const char* category = "";   // e.g. "migration"
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  // Logical track: 0 = coordinator / single-threaded engine, shard i + 1
+  // for the parallel executor's workers. Exported as the Chrome trace tid.
+  int track = 0;
+  // Nesting depth at record time (0 = outermost). Derived from the
+  // per-thread TraceScope stack, so the trace_test nesting assertions do
+  // not depend on timestamp resolution.
+  int depth = 0;
+  // Optional numeric argument (join key being completed, entries scanned,
+  // plans live, ...). Exported as args[arg_name] when arg_name is set.
+  const char* arg_name = nullptr;
+  uint64_t arg = 0;
+};
+
+// Bounded ring buffer of TraceSpans, shared by every thread of a processor
+// (the parallel executor's shard workers included). Recording takes a
+// mutex: spans are emitted at migration-phase granularity (per transition,
+// per completed value, per purge scan), orders of magnitude rarer than
+// tuple processing, so contention is negligible next to the shard feed
+// queues. When the buffer is full the OLDEST span is dropped (the tail of
+// a long run matters more than its head); dropped() reports how many, so
+// exporters can say the trace is truncated rather than silently lying.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1 << 16);
+
+  // Nanoseconds since this recorder's construction (steady clock). Cheap
+  // enough for span endpoints; callers avoid it entirely when tracing is
+  // disabled.
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Thread-safe. Spans may arrive out of timestamp order (a parent scope
+  // records after its children); exporters sort by start_ns.
+  void Record(const TraceSpan& span);
+
+  // Thread-safe snapshot in ring order (oldest surviving span first).
+  std::vector<TraceSpan> Snapshot() const;
+
+  // Spans evicted oldest-first because the ring was full.
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+  // Drops every recorded span (not the epoch). Thread-safe.
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mu_;
+  // Fixed-capacity ring: next_ is the slot the next span lands in; once
+  // size_ == capacity_ that slot holds the oldest span, which is evicted.
+  std::vector<TraceSpan> ring_ JISC_GUARDED_BY(mu_);
+  size_t next_ JISC_GUARDED_BY(mu_) = 0;
+  size_t size_ JISC_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ JISC_GUARDED_BY(mu_) = 0;
+};
+
+// RAII span: captures the start timestamp at construction and records the
+// completed span at destruction. Maintains a thread-local depth counter so
+// nested scopes carry their nesting level. A null recorder disables the
+// scope entirely (no clock reads) — callers pass the recorder only when
+// tracing is enabled.
+class TraceScope {
+ public:
+  TraceScope(TraceRecorder* recorder, const char* name, const char* category,
+             int track = 0)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    span_.name = name;
+    span_.category = category;
+    span_.track = track;
+    span_.depth = Depth()++;
+    span_.start_ns = recorder_->NowNs();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (recorder_ == nullptr) return;
+    --Depth();
+    span_.dur_ns = recorder_->NowNs() - span_.start_ns;
+    recorder_->Record(span_);
+  }
+
+  // Attaches the optional numeric argument (no-op when disabled).
+  void SetArg(const char* arg_name, uint64_t arg) {
+    span_.arg_name = arg_name;
+    span_.arg = arg;
+  }
+
+ private:
+  // Per-thread nesting depth. Function-local so every TU reaches a concrete
+  // definition: an extern thread_local data member goes through GCC's TLS
+  // wrapper, which UBSan flags as a null load when the defining TU's
+  // dynamic initializer is elided.
+  static int& Depth() {
+    static thread_local int depth = 0;
+    return depth;
+  }
+
+  TraceRecorder* recorder_;
+  TraceSpan span_;
+};
+
+// Records an instantaneous event (zero-duration span) such as
+// "plan-discard". Null recorder is a no-op.
+void TraceInstant(TraceRecorder* recorder, const char* name,
+                  const char* category, int track = 0,
+                  const char* arg_name = nullptr, uint64_t arg = 0);
+
+}  // namespace jisc
+
+#endif  // JISC_OBS_TRACE_H_

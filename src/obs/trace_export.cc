@@ -1,0 +1,109 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+
+namespace jisc {
+
+namespace {
+
+// Span names and categories are string literals from our own code
+// (identifiers, dashes), but escape defensively so the JSON stays loadable
+// no matter what a future call site passes.
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+// Nanoseconds as a microsecond decimal ("1234.567"): Chrome expects
+// microsecond floats; the zero-padded fraction keeps ns precision.
+void WriteMicros(std::ostream& os, uint64_t ns) {
+  uint64_t frac = ns % 1000;
+  os << ns / 1000 << '.' << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+void WriteSpanEvent(std::ostream& os, const TraceSpan& span) {
+  os << "{\"name\":";
+  WriteJsonString(os, span.name);
+  os << ",\"cat\":";
+  WriteJsonString(os, *span.category == '\0' ? "jisc" : span.category);
+  os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.track << ",\"ts\":";
+  WriteMicros(os, span.start_ns);
+  os << ",\"dur\":";
+  WriteMicros(os, span.dur_ns);
+  os << ",\"args\":{\"depth\":" << span.depth;
+  if (span.arg_name != nullptr) {
+    os << ",";
+    WriteJsonString(os, span.arg_name);
+    os << ":" << span.arg;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceSpan>& spans,
+                      uint64_t dropped, const std::string& process_name) {
+  std::vector<const TraceSpan*> ordered;
+  ordered.reserve(spans.size());
+  for (const TraceSpan& s : spans) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+  os << "[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+     << "\"args\":{\"name\":";
+  WriteJsonString(os, process_name.c_str());
+  os << "}}";
+  if (dropped != 0) {
+    os << ",\n{\"name\":\"process_labels\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       << "\"args\":{\"labels\":\"trace truncated: " << dropped
+       << " oldest spans dropped\"}}";
+  }
+  for (const TraceSpan* s : ordered) {
+    os << ",\n";
+    WriteSpanEvent(os, *s);
+  }
+  os << "\n]\n";
+}
+
+void WriteMetricsJson(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<std::pair<std::string, const Histogram*>>& histograms) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    ";
+    WriteJsonString(os, name.c_str());
+    os << ": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n") << "    ";
+    WriteJsonString(os, name.c_str());
+    os << ": {\"count\": " << h->count() << ", \"p50\": " << h->P50()
+       << ", \"p90\": " << h->P90() << ", \"p99\": " << h->P99()
+       << ", \"max\": " << h->max() << ", \"mean\": " << h->mean()
+       << ", \"overflow\": " << h->overflow() << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace jisc

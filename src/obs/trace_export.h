@@ -1,0 +1,36 @@
+#ifndef JISC_OBS_TRACE_EXPORT_H_
+#define JISC_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace jisc {
+
+// Writes `spans` as Chrome trace_event JSON (the "JSON Array Format" that
+// chrome://tracing and https://ui.perfetto.dev load directly): one complete
+// ("ph":"X") event per span, timestamps in microseconds, span.track as the
+// tid, plus one metadata event naming the process. Spans are sorted by
+// start time; `dropped` (from TraceRecorder::dropped()) is recorded as a
+// process label so a truncated trace says so.
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceSpan>& spans,
+                      uint64_t dropped = 0,
+                      const std::string& process_name = "jisc");
+
+// Flat metrics JSON: {"counters": {name: value, ...},
+// "histograms": {name: {count, p50, p90, p99, max, mean, overflow}, ...}}.
+// Counter names come from the caller (e.g. Metrics::NamedCounters()), so
+// this layer stays independent of the execution library.
+void WriteMetricsJson(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<std::pair<std::string, const Histogram*>>& histograms);
+
+}  // namespace jisc
+
+#endif  // JISC_OBS_TRACE_EXPORT_H_

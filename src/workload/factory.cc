@@ -46,7 +46,7 @@ std::vector<ProcessorKind> PipelineStrategyKinds() {
 
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows, ThetaSpec theta,
-                             int parallelism) {
+                             int parallelism, Observability* obs) {
   BuiltProcessor built;
   built.sink = std::make_unique<CountingSink>();
   bool engine_kind = kind == ProcessorKind::kJisc ||
@@ -58,6 +58,7 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
   Engine::Options eopts;
   eopts.exec.theta = theta;
   eopts.parallelism = parallelism;
+  eopts.obs = obs;
   switch (kind) {
     case ProcessorKind::kJisc:
       built.processor =
@@ -87,6 +88,7 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
     case ProcessorKind::kParallelTrack: {
       ParallelTrackProcessor::Options popts;
       popts.exec.theta = theta;
+      popts.obs = obs;
       built.processor = std::make_unique<ParallelTrackProcessor>(
           plan, windows, built.sink.get(), popts);
       break;
@@ -94,6 +96,7 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
     case ProcessorKind::kHybridTrack: {
       HybridTrackProcessor::Options hopts;
       hopts.exec.theta = theta;
+      hopts.obs = obs;
       built.processor = std::make_unique<HybridTrackProcessor>(
           plan, windows, built.sink.get(), hopts);
       break;

@@ -44,10 +44,14 @@ struct BuiltProcessor {
 // kJiscFirstReceipt, kMovingState, kStaticPipeline) through the
 // hash-partitioned ParallelExecutor with that many shards; the eddy and
 // multi-plan processors are inherently single-threaded and reject it.
+// `obs` (nullptr = off) attaches an observability bundle to the kinds that
+// support it — the Engine-based kinds plus Parallel/Hybrid Track; the eddy
+// family ignores it (no migration phases to trace).
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows,
                              ThetaSpec theta = ThetaSpec(),
-                             int parallelism = 1);
+                             int parallelism = 1,
+                             Observability* obs = nullptr);
 
 }  // namespace jisc
 

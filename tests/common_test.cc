@@ -182,28 +182,9 @@ TEST(RunningStatTest, MeanVarianceMinMax) {
   EXPECT_EQ(s.max(), 9.0);
 }
 
-TEST(HistogramTest, PercentilesAndMean) {
-  Histogram h;
-  for (uint64_t i = 1; i <= 100; ++i) h.Add(i);
-  EXPECT_EQ(h.count(), 100);
-  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
-  EXPECT_EQ(h.max(), 100u);
-  // p50 falls in the bucket holding ~50; exponential buckets give the
-  // bucket's upper bound.
-  EXPECT_GE(h.Percentile(0.5), 32u);
-  EXPECT_LE(h.Percentile(0.5), 127u);
-  EXPECT_EQ(h.Percentile(0.0), h.Percentile(0.001));
-}
-
-TEST(HistogramTest, MergeAddsCounts) {
-  Histogram a, b;
-  a.Add(1);
-  a.Add(2);
-  b.Add(1000);
-  a.Merge(b);
-  EXPECT_EQ(a.count(), 3);
-  EXPECT_EQ(a.max(), 1000u);
-}
+// The histogram moved to the observability layer (obs/histogram.h) and its
+// tests moved with it: tests/histogram_test.cc holds the golden-quantile,
+// merge-associativity, overflow and concurrency batteries.
 
 TEST(ThroughputSeriesTest, BucketsByLogicalTime) {
   ThroughputSeries ts(10);

@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "core/jisc_runtime.h"
+#include "obs/observability.h"
 #include "plan/transitions.h"
 #include "reference/naive_reference.h"
 #include "tests/test_util.h"
@@ -30,13 +31,16 @@ struct RunSignature {
   uint64_t outputs;
 };
 
-RunSignature RunOnce(ProcessorKind kind) {
+// `obs` attaches the observability bundle (tracing + histograms); the
+// tracing-on/off battery below requires it to change nothing observable.
+RunSignature RunOnce(ProcessorKind kind, Observability* obs = nullptr) {
   auto order = IdentityOrder(4);
   LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
   LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
                                            OpKind::kHashJoin);
   WindowSpec windows = WindowSpec::Uniform(4, 8);
-  BuiltProcessor built = MakeProcessor(kind, plan, windows);
+  BuiltProcessor built =
+      MakeProcessor(kind, plan, windows, ThetaSpec(), /*parallelism=*/1, obs);
   auto tuples = UniformWorkload(4, 4, 500, /*seed=*/33);
   std::vector<Tuple> outputs;
   built.sink->SetCallback(
@@ -77,6 +81,37 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// Attaching the observability bundle must not perturb execution: identical
+// sink output and work counters with tracing on vs off. This is the
+// guarantee that makes traces trustworthy — measuring doesn't change what
+// is measured. Also checks the run actually produced telemetry where the
+// processor supports it, so a silently-dropped wiring can't pass.
+TEST_P(DeterminismTest, TracingOnOffIsByteIdentical) {
+  RunSignature off = RunOnce(GetParam());
+  Observability obs;
+  obs.options.record_service_times = true;
+  RunSignature on = RunOnce(GetParam(), &obs);
+  EXPECT_EQ(on.output_hash, off.output_hash);
+  EXPECT_EQ(on.work, off.work);
+  EXPECT_EQ(on.outputs, off.outputs);
+  // The engine-backed processors wire the bundle through; the eddy family
+  // ignores it (documented in MakeProcessor), so only assert coverage for
+  // kinds that claim it.
+  switch (GetParam()) {
+    case ProcessorKind::kJisc:
+    case ProcessorKind::kJiscFirstReceipt:
+    case ProcessorKind::kMovingState:
+    case ProcessorKind::kParallelTrack:
+    case ProcessorKind::kHybridTrack:
+      EXPECT_GT(obs.output_delay_ns.count(), 0u);
+      EXPECT_GT(obs.probe_ns.count(), 0u);
+      EXPECT_FALSE(obs.trace.Snapshot().empty());
+      break;
+    default:
+      break;
+  }
+}
 
 // All strategies agree with each other on the output multiset (pairwise
 // cross-check on top of the reference-based equivalence suite).

@@ -1,0 +1,299 @@
+// Test battery for the lock-free log-linear histogram (obs/histogram.h):
+// golden quantiles against exact sorted-sample quantiles within the bucket
+// scheme's guaranteed relative error, merge associativity, overflow-bucket
+// behavior, and a TSan-gated concurrent record/merge/read test mirroring
+// parallel_test.cc's monitoring-thread pattern.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace jisc {
+namespace {
+
+// Exact quantile of a sample: the smallest value whose rank covers q, the
+// definition the histogram approximates from above.
+uint64_t ExactQuantile(std::vector<uint64_t> sorted, double q) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  double target = q * static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(target);
+  if (static_cast<double>(rank) < target) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+// The documented guarantee: exact <= approx <= exact + exact/16 (+1 covers
+// the unit buckets' closed upper bounds at tiny values).
+void ExpectWithinBucketError(uint64_t exact, uint64_t approx) {
+  EXPECT_GE(approx, exact);
+  EXPECT_LE(approx, exact + exact / Histogram::kSubCount + 1);
+}
+
+TEST(HistogramTest, BucketGeometryRoundTrips) {
+  // Every bucket's upper bound must map back into that bucket, and bucket
+  // boundaries must be monotone — the invariants Quantile() walks on.
+  uint64_t prev = 0;
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+    uint64_t ub = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(ub), i) << "bucket " << i;
+    if (i > 0) EXPECT_GT(ub, prev) << "bucket " << i;
+    prev = ub;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1),
+            Histogram::kMaxTracked);
+  // Spot checks across magnitudes: value and upper bound agree on bucket,
+  // and the bound is within 1/16 above the value.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{15}, uint64_t{16},
+                     uint64_t{17}, uint64_t{255}, uint64_t{1023},
+                     uint64_t{4096}, uint64_t{123456789},
+                     (uint64_t{1} << 39) + 12345}) {
+    uint64_t ub = Histogram::BucketUpperBound(Histogram::BucketIndex(v));
+    EXPECT_GE(ub, v);
+    EXPECT_LE(ub, v + v / Histogram::kSubCount + 1);
+  }
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below kSubCount occupy unit-width buckets: quantiles are exact.
+  Histogram h;
+  std::vector<uint64_t> sample;
+  for (uint64_t v = 0; v < 16; ++v) {
+    for (uint64_t i = 0; i <= v; ++i) {
+      h.Record(v);
+      sample.push_back(v);
+    }
+  }
+  EXPECT_EQ(h.count(), sample.size());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), ExactQuantile(sample, q)) << "q=" << q;
+  }
+  EXPECT_EQ(h.max(), 15u);
+}
+
+TEST(HistogramTest, GoldenQuantilesUniform) {
+  // Uniform sample over several decades; histogram quantiles must track the
+  // exact sorted-sample quantiles within the documented bucket error.
+  Histogram h;
+  std::vector<uint64_t> sample;
+  Rng rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = rng.UniformU64(1000000) + 1;
+    h.Record(v);
+    sample.push_back(v);
+  }
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}) {
+    ExpectWithinBucketError(ExactQuantile(sample, q), h.Quantile(q));
+  }
+}
+
+TEST(HistogramTest, GoldenQuantilesHeavyTail) {
+  // Exponentially spread magnitudes (the shape of latency tails): the
+  // relative error bound must hold independently of magnitude.
+  Histogram h;
+  std::vector<uint64_t> sample;
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    int shift = static_cast<int>(rng.UniformU64(30));
+    uint64_t v = (uint64_t{1} << shift) + rng.UniformU64(1u << shift);
+    h.Record(v);
+    sample.push_back(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    ExpectWithinBucketError(ExactQuantile(sample, q), h.Quantile(q));
+  }
+  EXPECT_EQ(h.count(), sample.size());
+  uint64_t expected_sum = 0;
+  for (uint64_t v : sample) expected_sum += v;
+  EXPECT_EQ(h.sum(), expected_sum);
+  EXPECT_EQ(h.max(), *std::max_element(sample.begin(), sample.end()));
+}
+
+TEST(HistogramTest, QuantileEdgeValues) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  // q <= 0 clamps to the first recorded value's bucket, q >= 1 to the last.
+  ExpectWithinBucketError(100, h.Quantile(0.0));
+  ExpectWithinBucketError(100, h.Quantile(-1.0));
+  ExpectWithinBucketError(300, h.Quantile(1.0));
+  ExpectWithinBucketError(300, h.Quantile(2.0));
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  // Merging two histograms must equal recording both streams into one.
+  Histogram a, b, combined;
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformU64(1u << 20) + 1;
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.max(), combined.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    ASSERT_EQ(a.bucket_count(i), combined.bucket_count(i)) << "bucket " << i;
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociative) {
+  // (a + b) + c == a + (b + c), cell for cell — the property that makes
+  // shard-order-independent aggregation sound.
+  Histogram a, b, c;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    a.Record(rng.UniformU64(1u << 24) + 1);
+    b.Record(rng.UniformU64(1u << 12) + 1);
+    c.Record(rng.UniformU64(1u << 30) + 1);
+  }
+  Histogram left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  Histogram bc = b;     // a + (b + c)
+  bc.Merge(c);
+  Histogram right = a;
+  right.Merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.max(), right.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    ASSERT_EQ(left.bucket_count(i), right.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, OverflowBucketBehavior) {
+  Histogram h;
+  h.Record(100);
+  h.Record(Histogram::kMaxTracked);          // first untracked value
+  h.Record(Histogram::kMaxTracked * 2);
+  h.Record(~uint64_t{0});                    // UINT64_MAX
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.overflow(), 3u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  // Quantiles that land in the overflow bucket saturate at kMaxTracked
+  // (the histogram cannot resolve beyond it) rather than fabricating a
+  // value; max() keeps the true maximum.
+  EXPECT_EQ(h.Quantile(0.99), Histogram::kMaxTracked);
+  ExpectWithinBucketError(100, h.Quantile(0.25));
+}
+
+TEST(HistogramTest, CopyIsSnapshot) {
+  Histogram h;
+  h.Record(10);
+  h.Record(1000);
+  Histogram snap = h;
+  h.Record(100000);
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(snap.max(), 1000u);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h;
+  for (uint64_t v = 1; v < 1000; ++v) h.Record(v * 37);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    ASSERT_EQ(h.bucket_count(i), 0u);
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordAndSnapshot) {
+  // Mirrors parallel_test.cc's monitoring-thread pattern: writers hammer a
+  // shared histogram while a monitor snapshots quantiles and checks count
+  // monotonicity. TSan gates this (histogram_test runs under
+  // JISC_SANITIZE=thread in CI).
+  Histogram h;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  std::atomic<bool> done{false};
+  uint64_t last_count = 0;
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Histogram snap = h;  // copy = per-cell atomic snapshot
+      uint64_t n = snap.count();
+      EXPECT_GE(n, last_count);  // cells are monotone under recording
+      last_count = n;
+      if (n > 0) EXPECT_GT(snap.Quantile(0.5), 0u);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, w] {
+      Rng rng(static_cast<uint64_t>(w) + 1);
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        h.Record(rng.UniformU64(1u << 22) + 1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_EQ(h.count(), kWriters * kPerWriter);
+}
+
+TEST(HistogramTest, ConcurrentMergeIntoShared) {
+  // Per-shard histograms merged concurrently into one aggregate — the
+  // post-run aggregation path. Merge is cell-wise atomic adds, so
+  // concurrent merges must lose nothing.
+  constexpr int kShards = 4;
+  std::vector<Histogram> shard(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    Rng rng(static_cast<uint64_t>(s) + 100);
+    for (int i = 0; i < 10000; ++i) shard[s].Record(rng.UniformU64(1u << 16) + 1);
+  }
+  Histogram agg;
+  std::vector<std::thread> mergers;
+  for (int s = 0; s < kShards; ++s) {
+    mergers.emplace_back([&agg, &shard, s] { agg.Merge(shard[s]); });
+  }
+  for (auto& t : mergers) t.join();
+  uint64_t expected = 0;
+  for (const Histogram& sh : shard) expected += sh.count();
+  EXPECT_EQ(agg.count(), expected);
+}
+
+TEST(HistogramTest, ToStringMentionsQuantiles) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 100; ++i) h.Record(i * 1000);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=100"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace jisc

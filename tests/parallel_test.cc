@@ -424,6 +424,53 @@ TEST(ParallelExecutorTest, MetricsApproxIsSafeFromMonitoringThread) {
   EXPECT_EQ(proc->metrics().arrivals, tuples.size());
 }
 
+TEST(ParallelExecutorTest, MetricsApproxTotalsAreMonotone) {
+  // Regression for the Metrics snapshot-consistency contract (metrics.h):
+  // each counter in a MetricsApprox() snapshot is an atomic (never torn)
+  // read, and every counter only grows under execution — so successive
+  // snapshots must be monotone per counter AND in the WorkUnits() total,
+  // even though the snapshot is not cross-counter consistent. A torn or
+  // reordered read would show up as a dip here under TSan/stress.
+  int streams = 3;
+  uint64_t window = 30;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  CountingSink sink;
+  auto proc = MakeSharded(ShardStrategy::kJisc, plan,
+                          WindowSpec::Uniform(streams, window), &sink, 4);
+  auto* parallel = dynamic_cast<ParallelExecutor*>(proc.get());
+  ASSERT_NE(parallel, nullptr);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> snapshots_taken{0};
+  std::thread monitor([&] {
+    Metrics prev;  // zero-initialized: any first snapshot is >= it
+    uint64_t prev_work = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      Metrics snap = parallel->MetricsApprox();
+      EXPECT_GE(snap.arrivals, prev.arrivals);
+      EXPECT_GE(snap.probes, prev.probes);
+      EXPECT_GE(snap.inserts, prev.inserts);
+      EXPECT_GE(snap.outputs, prev.outputs);
+      EXPECT_GE(snap.completions, prev.completions);
+      EXPECT_GE(snap.removals, prev.removals);
+      uint64_t work = snap.WorkUnits();
+      EXPECT_GE(work, prev_work);
+      prev = snap;
+      prev_work = work;
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+  auto tuples = UniformWorkload(streams, window, 3000, /*seed=*/29);
+  for (const BaseTuple& t : tuples) proc->Push(t);
+  parallel->Barrier();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  // After quiescing, the approximate view converges to the exact one.
+  EXPECT_EQ(parallel->MetricsApprox().arrivals, proc->metrics().arrivals);
+}
+
 TEST(ParallelExecutorTest, BackpressureSurvivesTinyQueues) {
   int streams = 3;
   uint64_t window = 25;

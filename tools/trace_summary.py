@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Terminal summary for JISC observability exports.
+
+Takes any mix of `<name>.trace.json` (Chrome trace_event arrays, as
+written by WriteChromeTrace) and `<name>.metrics.json` (as written by
+WriteMetricsJson) and renders them for a terminal or a CI job summary:
+
+  trace files    per-phase span table — count, total/mean/max duration —
+                 grouped by span name, plus the migration timeline
+                 (transition-nested phases in start order) and a note
+                 when the ring dropped spans.
+  metrics files  histogram quantile table (count/p50/p90/p99/max/mean,
+                 scaled to µs) and the non-zero work counters.
+
+Stdlib only; no third-party imports. Exit 0 on success, 2 on bad usage
+or unreadable input. Typical use:
+
+  JISC_OBS_DIR=/tmp/obs ./build/bench/fig10_latency
+  python3 tools/trace_summary.py /tmp/obs/*.json
+"""
+
+import json
+import sys
+
+
+def format_ns(ns):
+    """Render a nanosecond duration with a readable unit."""
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns}ns"
+
+
+def render_table(headers, rows):
+    """Plain fixed-width table; right-align everything but the first col."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    for row in [headers] + rows:
+        cells = []
+        for i, cell in enumerate(row):
+            text = str(cell)
+            cells.append(text.ljust(widths[i]) if i == 0
+                         else text.rjust(widths[i]))
+        lines.append("  " + "  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def span_micros(event):
+    """(start_us, dur_us) as floats; trace_event ts/dur are microseconds."""
+    return float(event.get("ts", 0)), float(event.get("dur", 0))
+
+
+def summarize_trace(path, events):
+    complete = [e for e in events if e.get("ph") == "X"]
+    meta = [e for e in events if e.get("ph") == "M"]
+    print(f"== {path} ==")
+    if not complete:
+        print("  (no spans)")
+        return
+    for e in meta:
+        if e.get("name") == "process_labels":
+            labels = e.get("args", {}).get("labels", "")
+            if "truncated" in labels:
+                print(f"  NOTE: {labels}")
+
+    by_name = {}
+    for e in complete:
+        _, dur = span_micros(e)
+        entry = by_name.setdefault(e.get("name", "?"),
+                                   {"count": 0, "total": 0.0, "max": 0.0})
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["max"] = max(entry["max"], dur)
+    rows = []
+    for name, s in sorted(by_name.items(),
+                          key=lambda kv: -kv[1]["total"]):
+        rows.append([name, s["count"],
+                     format_ns(int(s["total"] * 1e3)),
+                     format_ns(int(s["total"] / s["count"] * 1e3)),
+                     format_ns(int(s["max"] * 1e3))])
+    print(render_table(["span", "count", "total", "mean", "max"], rows))
+
+    # Migration timeline: the phases the paper's figures are about. Show
+    # each span nested under "transition" (or top-level migration-category
+    # spans) in start order, with its argument when present.
+    migration = sorted(
+        (e for e in complete if e.get("cat") == "migration"),
+        key=lambda e: span_micros(e)[0])
+    if migration:
+        print("  migration timeline:")
+        for e in migration[:40]:
+            start, dur = span_micros(e)
+            depth = int(e.get("args", {}).get("depth", 0))
+            args = {k: v for k, v in e.get("args", {}).items()
+                    if k != "depth"}
+            arg_text = (" " + " ".join(f"{k}={v}" for k, v in args.items())
+                        if args else "")
+            indent = "  " * (depth + 2)
+            print(f"{indent}{e.get('name')} @{start:.1f}us "
+                  f"dur={format_ns(int(dur * 1e3))} "
+                  f"tid={e.get('tid', 0)}{arg_text}")
+        if len(migration) > 40:
+            print(f"    ... {len(migration) - 40} more migration spans")
+
+
+def summarize_metrics(path, doc):
+    print(f"== {path} ==")
+    histograms = doc.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, h in histograms.items():
+            rows.append([name, h.get("count", 0),
+                         format_ns(h.get("p50", 0)),
+                         format_ns(h.get("p90", 0)),
+                         format_ns(h.get("p99", 0)),
+                         format_ns(h.get("max", 0)),
+                         format_ns(int(h.get("mean", 0))),
+                         h.get("overflow", 0)])
+        print(render_table(
+            ["histogram", "count", "p50", "p90", "p99", "max", "mean",
+             "overflow"], rows))
+    counters = doc.get("counters", {})
+    nonzero = [(k, v) for k, v in counters.items() if v]
+    if nonzero:
+        print(render_table(["counter", "value"],
+                           [[k, v] for k, v in nonzero]))
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"error: {path}: {err}", file=sys.stderr)
+            status = 2
+            continue
+        if isinstance(doc, list):
+            summarize_trace(path, doc)
+        elif isinstance(doc, dict):
+            summarize_metrics(path, doc)
+        else:
+            print(f"error: {path}: unrecognized JSON shape", file=sys.stderr)
+            status = 2
+        print()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
