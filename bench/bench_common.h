@@ -14,6 +14,7 @@
 #include "common/timer.h"
 #include "obs/trace_export.h"
 #include "plan/transitions.h"
+#include "scenario/json.h"
 #include "stream/synthetic_source.h"
 #include "workload/factory.h"
 #include "workload/runner.h"
@@ -68,6 +69,35 @@ inline bool ExportObservability(const std::string& name,
       {"completion_ns", &obs.completion_ns}};
   std::ofstream f(base + ".metrics.json");
   WriteMetricsJson(f, counters, hists);
+  return true;
+}
+
+// Machine-readable bench rows. When JISC_BENCH_JSON_DIR is set, every call
+// appends one row for <series, arg> and rewrites
+// <dir>/BENCH_<bench>.json as a JSON array — the seed of the per-figure
+// result trajectory the CI artifacts collect. Returns false when the hook
+// is inactive. The file is rewritten on each append (rows per bench run
+// number in the dozens), so a crashed bench still leaves valid JSON.
+inline bool EmitRowJson(
+    const std::string& bench, const std::string& series, int64_t arg,
+    double seconds,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  const char* dir = std::getenv("JISC_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  static std::map<std::string, Json> rows_by_bench;
+  Json& rows = rows_by_bench.emplace(bench, Json::Array()).first->second;
+  Json row = Json::Object();
+  row.Set("bench", bench);
+  row.Set("series", series);
+  row.Set("arg", arg);
+  row.Set("seconds", seconds);
+  Json c = Json::Object();
+  for (const auto& [name, value] : counters) c.Set(name, value);
+  row.Set("counters", std::move(c));
+  rows.Append(std::move(row));
+  std::ofstream f(std::string(dir) + "/BENCH_" + bench + ".json");
+  if (!f) return false;
+  f << rows.Pretty() << "\n";
   return true;
 }
 
@@ -136,12 +166,44 @@ inline const StageResult& CachedStage(ProcessorKind kind, int n_joins,
   return it->second;
 }
 
+// Shared driver for Figs. 7/8 (migration-stage cost over join count):
+// measures one stage, publishes the per-figure counters, and emits the
+// machine-readable row. Worst-case runs additionally report
+// work_vs_best_case — the headline Fig. 7 vs Fig. 8 comparison of how much
+// completion work the order reversal adds.
+template <typename State>
+void RunMigrationStageBench(State& state, const std::string& bench,
+                            const std::string& series, ProcessorKind kind,
+                            bool best_case) {
+  int n_joins = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StageResult r = MeasureMigrationStage(kind, n_joins, best_case);
+    state.SetIterationTime(r.seconds);
+    const StageResult& pt =
+        CachedStage(ProcessorKind::kParallelTrack, n_joins, best_case);
+    std::vector<std::pair<std::string, double>> row = {
+        {"work_units", static_cast<double>(r.work)},
+        {"outputs", static_cast<double>(r.outputs)},
+        {"stage_tuples", static_cast<double>(r.tuples)},
+        {"speedup_vs_pt_time", pt.seconds / r.seconds},
+        {"speedup_vs_pt_work",
+         static_cast<double>(pt.work) / static_cast<double>(r.work)}};
+    if (!best_case) {
+      const StageResult& best = CachedStage(kind, n_joins, true);
+      row.emplace_back("work_vs_best_case", static_cast<double>(r.work) /
+                                                static_cast<double>(best.work));
+    }
+    for (const auto& [name, value] : row) state.counters[name] = value;
+    EmitRowJson(bench, series, n_joins, r.seconds, row);
+  }
+}
+
 // Shared driver for Figs. 11/12: total execution time under periodic
 // forced transitions (flipping between the base plan and its best- or
 // worst-case reorder). `transitions` = number of flips over the run.
 template <typename State>
-void RunFrequencyBench(State& state, ProcessorKind kind, bool best_case,
-                       int n_joins) {
+void RunFrequencyBench(State& state, const std::string& bench,
+                       ProcessorKind kind, bool best_case, int n_joins) {
   int streams = n_joins + 1;
   uint64_t window = ScaledWindow();
   size_t total = static_cast<size_t>(streams) * window * 8;
@@ -180,13 +242,17 @@ void RunFrequencyBench(State& state, ProcessorKind kind, bool best_case,
     }
     double seconds = timer.ElapsedSeconds();
     state.SetIterationTime(seconds);
-    state.counters["tuples"] = static_cast<double>(total);
-    state.counters["transitions"] = static_cast<double>(done_transitions);
-    state.counters["throughput_tps"] = static_cast<double>(total) / seconds;
-    state.counters["work_units"] =
-        static_cast<double>(built.processor->metrics().WorkUnits());
-    state.counters["completions"] =
-        static_cast<double>(built.processor->metrics().completions);
+    std::vector<std::pair<std::string, double>> row = {
+        {"tuples", static_cast<double>(total)},
+        {"transitions", static_cast<double>(done_transitions)},
+        {"throughput_tps", static_cast<double>(total) / seconds},
+        {"work_units",
+         static_cast<double>(built.processor->metrics().WorkUnits())},
+        {"completions",
+         static_cast<double>(built.processor->metrics().completions)}};
+    for (const auto& [name, value] : row) state.counters[name] = value;
+    EmitRowJson(bench, ProcessorKindName(kind),
+                static_cast<int64_t>(transitions), seconds, row);
   }
 }
 

@@ -14,33 +14,22 @@ namespace jisc {
 namespace bench {
 namespace {
 
-void RunStage(benchmark::State& state, ProcessorKind kind, bool best_case) {
-  int n_joins = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    StageResult r = MeasureMigrationStage(kind, n_joins, best_case);
-    state.SetIterationTime(r.seconds);
-    state.counters["work_units"] = static_cast<double>(r.work);
-    state.counters["outputs"] = static_cast<double>(r.outputs);
-    state.counters["stage_tuples"] = static_cast<double>(r.tuples);
-    const StageResult& pt =
-        CachedStage(ProcessorKind::kParallelTrack, n_joins, best_case);
-    state.counters["speedup_vs_pt_time"] = pt.seconds / r.seconds;
-    state.counters["speedup_vs_pt_work"] =
-        static_cast<double>(pt.work) / static_cast<double>(r.work);
-  }
+void RunStage(benchmark::State& state, ProcessorKind kind) {
+  RunMigrationStageBench(state, "fig07", ProcessorKindName(kind), kind,
+                         /*best_case=*/true);
 }
 
 void BM_Jisc(benchmark::State& state) {
-  RunStage(state, ProcessorKind::kJisc, /*best_case=*/true);
+  RunStage(state, ProcessorKind::kJisc);
 }
 void BM_Cacq(benchmark::State& state) {
-  RunStage(state, ProcessorKind::kCacq, /*best_case=*/true);
+  RunStage(state, ProcessorKind::kCacq);
 }
 void BM_ParallelTrack(benchmark::State& state) {
-  RunStage(state, ProcessorKind::kParallelTrack, /*best_case=*/true);
+  RunStage(state, ProcessorKind::kParallelTrack);
 }
 void BM_HybridTrack(benchmark::State& state) {
-  RunStage(state, ProcessorKind::kHybridTrack, /*best_case=*/true);
+  RunStage(state, ProcessorKind::kHybridTrack);
 }
 
 }  // namespace

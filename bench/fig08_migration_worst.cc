@@ -16,23 +16,8 @@ namespace bench {
 namespace {
 
 void RunStage(benchmark::State& state, ProcessorKind kind) {
-  int n_joins = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    StageResult r = MeasureMigrationStage(kind, n_joins, /*best_case=*/false);
-    state.SetIterationTime(r.seconds);
-    state.counters["work_units"] = static_cast<double>(r.work);
-    state.counters["outputs"] = static_cast<double>(r.outputs);
-    const StageResult& pt =
-        CachedStage(ProcessorKind::kParallelTrack, n_joins, false);
-    state.counters["speedup_vs_pt_time"] = pt.seconds / r.seconds;
-    state.counters["speedup_vs_pt_work"] =
-        static_cast<double>(pt.work) / static_cast<double>(r.work);
-    // The headline comparison of Figs. 7 vs 8: how much completion work the
-    // worst case adds relative to the best case.
-    const StageResult& best = CachedStage(kind, n_joins, true);
-    state.counters["work_vs_best_case"] =
-        static_cast<double>(r.work) / static_cast<double>(best.work);
-  }
+  RunMigrationStageBench(state, "fig08", ProcessorKindName(kind), kind,
+                         /*best_case=*/false);
 }
 
 void BM_Jisc(benchmark::State& state) {

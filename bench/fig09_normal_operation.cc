@@ -37,15 +37,18 @@ void RunNormal(benchmark::State& state, ProcessorKind kind) {
     size_t n = static_cast<size_t>(streams) * window * 4;
     ConsumeStats stats = Consume(built.processor.get(), &src, n);
     state.SetIterationTime(stats.seconds);
-    state.counters["tuples"] = static_cast<double>(stats.tuples);
-    state.counters["throughput_tps"] =
-        static_cast<double>(stats.tuples) / stats.seconds;
-    state.counters["work_units"] = static_cast<double>(stats.work_units);
-    state.counters["work_per_tuple"] =
-        static_cast<double>(stats.work_units) /
-        static_cast<double>(stats.tuples);
-    state.counters["eddy_visits"] =
-        static_cast<double>(built.processor->metrics().eddy_visits);
+    std::vector<std::pair<std::string, double>> row = {
+        {"tuples", static_cast<double>(stats.tuples)},
+        {"throughput_tps",
+         static_cast<double>(stats.tuples) / stats.seconds},
+        {"work_units", static_cast<double>(stats.work_units)},
+        {"work_per_tuple", static_cast<double>(stats.work_units) /
+                               static_cast<double>(stats.tuples)},
+        {"eddy_visits",
+         static_cast<double>(built.processor->metrics().eddy_visits)}};
+    for (const auto& [name, value] : row) state.counters[name] = value;
+    EmitRowJson("fig09", ProcessorKindName(kind), kJoins, stats.seconds,
+                row);
   }
 }
 

@@ -44,22 +44,26 @@ void RunLatency(benchmark::State& state, ProcessorKind kind, OpKind join) {
         built.processor.get(), built.sink.get(), next, &src,
         /*max_tuples=*/window * kStreams);
     state.SetIterationTime(r.first_output_seconds);
-    state.counters["migration_ms"] = r.migration_seconds * 1e3;
-    state.counters["first_output_ms"] = r.first_output_seconds * 1e3;
-    state.counters["tuples_until_output"] =
-        static_cast<double>(r.tuples_until_output);
-    state.counters["delay_p50_us"] =
-        static_cast<double>(obs.output_delay_ns.P50()) / 1e3;
-    state.counters["delay_p90_us"] =
-        static_cast<double>(obs.output_delay_ns.P90()) / 1e3;
-    state.counters["delay_p99_us"] =
-        static_cast<double>(obs.output_delay_ns.P99()) / 1e3;
-    state.counters["delay_max_us"] =
-        static_cast<double>(obs.output_delay_ns.max()) / 1e3;
-    std::string tag = std::string("fig10_") + ProcessorKindName(kind) + "_" +
-                      (join == OpKind::kHashJoin ? "hash" : "nlj") + "_w" +
-                      std::to_string(window);
-    ExportObservability(tag, obs, &built.processor->metrics());
+    std::vector<std::pair<std::string, double>> row = {
+        {"migration_ms", r.migration_seconds * 1e3},
+        {"first_output_ms", r.first_output_seconds * 1e3},
+        {"tuples_until_output",
+         static_cast<double>(r.tuples_until_output)},
+        {"delay_p50_us",
+         static_cast<double>(obs.output_delay_ns.P50()) / 1e3},
+        {"delay_p90_us",
+         static_cast<double>(obs.output_delay_ns.P90()) / 1e3},
+        {"delay_p99_us",
+         static_cast<double>(obs.output_delay_ns.P99()) / 1e3},
+        {"delay_max_us",
+         static_cast<double>(obs.output_delay_ns.max()) / 1e3}};
+    for (const auto& [name, value] : row) state.counters[name] = value;
+    std::string series = std::string(ProcessorKindName(kind)) + "_" +
+                         (join == OpKind::kHashJoin ? "hash" : "nlj");
+    EmitRowJson("fig10", series, static_cast<int64_t>(window),
+                r.first_output_seconds, row);
+    ExportObservability("fig10_" + series + "_w" + std::to_string(window),
+                        obs, &built.processor->metrics());
   }
 }
 

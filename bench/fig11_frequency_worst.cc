@@ -19,14 +19,16 @@ namespace {
 constexpr int kJoins = 20;
 
 void BM_Jisc(benchmark::State& state) {
-  RunFrequencyBench(state, ProcessorKind::kJisc, /*best_case=*/false, kJoins);
+  RunFrequencyBench(state, "fig11", ProcessorKind::kJisc,
+                    /*best_case=*/false, kJoins);
 }
 void BM_Cacq(benchmark::State& state) {
-  RunFrequencyBench(state, ProcessorKind::kCacq, /*best_case=*/false, kJoins);
+  RunFrequencyBench(state, "fig11", ProcessorKind::kCacq,
+                    /*best_case=*/false, kJoins);
 }
 void BM_ParallelTrack(benchmark::State& state) {
-  RunFrequencyBench(state, ProcessorKind::kParallelTrack, /*best_case=*/false,
-                    kJoins);
+  RunFrequencyBench(state, "fig11", ProcessorKind::kParallelTrack,
+                    /*best_case=*/false, kJoins);
 }
 
 }  // namespace

@@ -17,14 +17,16 @@ namespace {
 constexpr int kJoins = 20;
 
 void BM_Jisc(benchmark::State& state) {
-  RunFrequencyBench(state, ProcessorKind::kJisc, /*best_case=*/true, kJoins);
+  RunFrequencyBench(state, "fig12", ProcessorKind::kJisc,
+                    /*best_case=*/true, kJoins);
 }
 void BM_Cacq(benchmark::State& state) {
-  RunFrequencyBench(state, ProcessorKind::kCacq, /*best_case=*/true, kJoins);
+  RunFrequencyBench(state, "fig12", ProcessorKind::kCacq,
+                    /*best_case=*/true, kJoins);
 }
 void BM_ParallelTrack(benchmark::State& state) {
-  RunFrequencyBench(state, ProcessorKind::kParallelTrack, /*best_case=*/true,
-                    kJoins);
+  RunFrequencyBench(state, "fig12", ProcessorKind::kParallelTrack,
+                    /*best_case=*/true, kJoins);
 }
 
 }  // namespace

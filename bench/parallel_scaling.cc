@@ -72,14 +72,18 @@ void RunScaling(benchmark::State& state, ScalingConfig cfg) {
     // throughput_tps(shards=N) / throughput_tps(shards=1) across rows, so
     // the numbers stay correct under --benchmark_filter, repetitions, and
     // any registration order.
-    state.counters["shards"] = static_cast<double>(cfg.shards);
-    state.counters["tuples"] = static_cast<double>(n);
-    state.counters["throughput_tps"] = static_cast<double>(n) / seconds;
     // metrics() quiesces the shards and merges their counters.
     const Metrics& m = built.processor->metrics();
-    state.counters["outputs"] = static_cast<double>(built.sink->outputs());
-    state.counters["work_units"] = static_cast<double>(m.WorkUnits());
-    state.counters["completions"] = static_cast<double>(m.completions);
+    std::vector<std::pair<std::string, double>> row = {
+        {"shards", static_cast<double>(cfg.shards)},
+        {"tuples", static_cast<double>(n)},
+        {"throughput_tps", static_cast<double>(n) / seconds},
+        {"outputs", static_cast<double>(built.sink->outputs())},
+        {"work_units", static_cast<double>(m.WorkUnits())},
+        {"completions", static_cast<double>(m.completions)}};
+    for (const auto& [name, value] : row) state.counters[name] = value;
+    EmitRowJson("parallel_scaling", cfg.migrate ? "migration" : "steady",
+                cfg.shards, seconds, row);
   }
 }
 

@@ -80,6 +80,18 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceSpan>& spans,
   os << "\n]\n";
 }
 
+HistogramSummary SummarizeHistogram(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.p50 = h.P50();
+  s.p90 = h.P90();
+  s.p99 = h.P99();
+  s.max = h.max();
+  s.overflow = h.overflow();
+  s.mean = h.mean();
+  return s;
+}
+
 void WriteMetricsJson(
     std::ostream& os,
     const std::vector<std::pair<std::string, uint64_t>>& counters,
@@ -95,12 +107,13 @@ void WriteMetricsJson(
   os << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms) {
+    HistogramSummary s = SummarizeHistogram(*h);
     os << (first ? "\n" : ",\n") << "    ";
     WriteJsonString(os, name.c_str());
-    os << ": {\"count\": " << h->count() << ", \"p50\": " << h->P50()
-       << ", \"p90\": " << h->P90() << ", \"p99\": " << h->P99()
-       << ", \"max\": " << h->max() << ", \"mean\": " << h->mean()
-       << ", \"overflow\": " << h->overflow() << "}";
+    os << ": {\"count\": " << s.count << ", \"p50\": " << s.p50
+       << ", \"p90\": " << s.p90 << ", \"p99\": " << s.p99
+       << ", \"max\": " << s.max << ", \"mean\": " << s.mean
+       << ", \"overflow\": " << s.overflow << "}";
     first = false;
   }
   os << "\n  }\n}\n";

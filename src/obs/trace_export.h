@@ -22,6 +22,22 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceSpan>& spans,
                       uint64_t dropped = 0,
                       const std::string& process_name = "jisc");
 
+// Point-in-time quantile digest of a Histogram — the shape every exporter
+// (metrics JSON, scenario evidence bundles) reports. Taking the digest once
+// and passing it around avoids re-walking the buckets per field and keeps
+// the exported numbers mutually consistent even if writers are still hot.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+  uint64_t overflow = 0;
+  double mean = 0;
+};
+
+HistogramSummary SummarizeHistogram(const Histogram& h);
+
 // Flat metrics JSON: {"counters": {name: value, ...},
 // "histograms": {name: {count, p50, p90, p99, max, mean, overflow}, ...}}.
 // Counter names come from the caller (e.g. Metrics::NamedCounters()), so

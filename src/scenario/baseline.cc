@@ -1,0 +1,258 @@
+#include "scenario/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace jisc {
+namespace scenario {
+namespace {
+
+// Absolute slack under which a thresholded (wall-clock) metric can never
+// fail: relative comparison on near-zero latencies is pure noise. 50us for
+// nanosecond histogram quantiles, 50ms for wall seconds.
+constexpr double kMinLatencyDeltaNs = 50'000;
+constexpr double kMinWallDeltaSeconds = 0.05;
+
+double RelDelta(double baseline, double current) {
+  if (baseline == 0) return current == 0 ? 0 : 1;
+  return (current - baseline) / baseline;
+}
+
+void AddExact(DiffResult* diff, const std::string& name, double baseline,
+              double current) {
+  MetricDiff md;
+  md.name = name;
+  md.baseline = baseline;
+  md.current = current;
+  md.rel_delta = RelDelta(baseline, current);
+  md.threshold = 0;
+  md.exact = true;
+  md.pass = baseline == current;
+  if (!md.pass) diff->failures.push_back(name);
+  diff->metrics.push_back(std::move(md));
+}
+
+void AddThresholded(DiffResult* diff, const std::string& name,
+                    double baseline, double current, double threshold,
+                    double min_abs_delta) {
+  MetricDiff md;
+  md.name = name;
+  md.baseline = baseline;
+  md.current = current;
+  md.rel_delta = RelDelta(baseline, current);
+  md.threshold = threshold;
+  md.exact = false;
+  // Only a regression (current above baseline) can fail, and only when it
+  // clears both the relative threshold and the absolute noise floor.
+  md.pass = current <= baseline * (1 + threshold) ||
+            current - baseline <= min_abs_delta;
+  if (!md.pass) diff->failures.push_back(name);
+  diff->metrics.push_back(std::move(md));
+}
+
+const HistogramSummary* FindHistogram(const RunResult& r,
+                                      const std::string& name) {
+  for (const auto& [n, s] : r.histograms) {
+    if (n == name) return &s;
+  }
+  return nullptr;
+}
+
+double ThresholdFor(const RunResult& current, const std::string& name) {
+  auto it = current.thresholds.find(name);
+  if (it != current.thresholds.end()) return it->second;
+  return DefaultThreshold(name);
+}
+
+Json MetricJson(const MetricDiff& md) {
+  Json m = Json::Object();
+  m.Set("name", md.name);
+  if (md.exact) {
+    m.Set("baseline", static_cast<int64_t>(md.baseline));
+    m.Set("current", static_cast<int64_t>(md.current));
+  } else {
+    m.Set("baseline", md.baseline);
+    m.Set("current", md.current);
+  }
+  m.Set("rel_delta", md.rel_delta);
+  m.Set("threshold", md.threshold);
+  m.Set("exact", md.exact);
+  m.Set("pass", md.pass);
+  return m;
+}
+
+}  // namespace
+
+double DefaultThreshold(const std::string& metric_name) {
+  if (metric_name == "wall.measured_seconds") return 0.5;
+  // Histogram latency quantiles: CI runners are shared and noisy; default
+  // to allowing a 2x excursion before failing. Specs tighten per metric.
+  if (metric_name.rfind("hist.", 0) == 0) return 1.0;
+  return 0.5;
+}
+
+DiffResult CompareRuns(const RunResult& baseline, const RunResult& current) {
+  DiffResult diff;
+  diff.scenario = current.scenario;
+  diff.strategy = current.strategy;
+
+  auto spec_error = [&diff](const std::string& msg) {
+    diff.spec_error = true;
+    diff.error = msg;
+    return diff;
+  };
+
+  // Identity: a diff across different experiments is meaningless.
+  if (baseline.scenario != current.scenario) {
+    return spec_error("scenario mismatch: baseline '" + baseline.scenario +
+                      "' vs current '" + current.scenario + "'");
+  }
+  if (baseline.strategy != current.strategy) {
+    return spec_error("strategy mismatch: baseline '" + baseline.strategy +
+                      "' vs current '" + current.strategy + "'");
+  }
+  if (baseline.seed != current.seed) {
+    return spec_error("seed mismatch (baseline and run must use the same "
+                      "seed)");
+  }
+  if (baseline.scale != current.scale) {
+    std::ostringstream os;
+    os << "scale mismatch: baseline " << baseline.scale << " vs current "
+       << current.scale << " (re-capture or re-run at the same scale)";
+    return spec_error(os.str());
+  }
+  if (baseline.parallelism != current.parallelism) {
+    return spec_error("parallelism mismatch");
+  }
+  // Shape: same identity must yield the same workload dimensions; a
+  // mismatch means the spec itself changed under the baseline.
+  if (baseline.window != current.window ||
+      baseline.warmup_tuples != current.warmup_tuples ||
+      baseline.measured_tuples != current.measured_tuples) {
+    return spec_error("workload shape mismatch (window/warmup/measured "
+                      "tuples changed; re-capture the baseline)");
+  }
+
+  // Deterministic section: exact.
+  AddExact(&diff, "shape.transitions",
+           static_cast<double>(baseline.transitions),
+           static_cast<double>(current.transitions));
+  AddExact(&diff, "shape.checkpoint_restores",
+           static_cast<double>(baseline.checkpoint_restores),
+           static_cast<double>(current.checkpoint_restores));
+  for (const auto& [name, value] : current.counters) {
+    const auto it = std::find_if(
+        baseline.counters.begin(), baseline.counters.end(),
+        [&name = name](const auto& kv) { return kv.first == name; });
+    if (it == baseline.counters.end()) {
+      return spec_error("counter '" + name +
+                        "' absent from baseline (re-capture)");
+    }
+    AddExact(&diff, "counters." + name, static_cast<double>(it->second),
+             static_cast<double>(value));
+  }
+  for (const auto& [name, value] : baseline.counters) {
+    bool in_current = std::any_of(
+        current.counters.begin(), current.counters.end(),
+        [&name = name](const auto& kv) { return kv.first == name; });
+    if (!in_current) {
+      return spec_error("counter '" + name +
+                        "' absent from current run (re-capture)");
+    }
+  }
+
+  // Wall-clock section: thresholded, regressions only.
+  AddThresholded(&diff, "wall.measured_seconds", baseline.measured_seconds,
+                 current.measured_seconds,
+                 ThresholdFor(current, "wall.measured_seconds"),
+                 kMinWallDeltaSeconds);
+
+  // Histogram quantiles present on both sides.
+  for (const auto& [name, summary] : current.histograms) {
+    const HistogramSummary* base = FindHistogram(baseline, name);
+    if (base == nullptr || base->count == 0 || summary.count == 0) continue;
+    struct Quantile {
+      const char* qname;
+      uint64_t baseline_value;
+      uint64_t current_value;
+    };
+    const Quantile quantiles[] = {{"p50", base->p50, summary.p50},
+                                  {"p99", base->p99, summary.p99}};
+    for (const Quantile& q : quantiles) {
+      std::string metric = "hist." + name + "." + q.qname;
+      AddThresholded(&diff, metric, static_cast<double>(q.baseline_value),
+                     static_cast<double>(q.current_value),
+                     ThresholdFor(current, metric), kMinLatencyDeltaNs);
+    }
+  }
+  return diff;
+}
+
+Json DiffToJson(const DiffResult& diff) {
+  Json j = Json::Object();
+  j.Set("scenario", diff.scenario);
+  j.Set("strategy", diff.strategy);
+  j.Set("status", diff.spec_error
+                      ? "spec_error"
+                      : (diff.failures.empty() ? "pass" : "regression"));
+  j.Set("exit_code", diff.exit_code());
+  if (diff.spec_error) j.Set("error", diff.error);
+  Json failures = Json::Array();
+  for (const std::string& name : diff.failures) failures.Append(name);
+  j.Set("failures", std::move(failures));
+  Json metrics = Json::Array();
+  for (const MetricDiff& md : diff.metrics) metrics.Append(MetricJson(md));
+  j.Set("metrics", std::move(metrics));
+  return j;
+}
+
+std::string DiffToTable(const DiffResult& diff) {
+  std::ostringstream os;
+  os << "scenario " << diff.scenario << " / " << diff.strategy << "\n";
+  if (diff.spec_error) {
+    os << "SPEC ERROR: " << diff.error << "\n";
+    return os.str();
+  }
+  size_t width = 4;
+  for (const MetricDiff& md : diff.metrics) {
+    width = std::max(width, md.name.size());
+  }
+  os << std::left << std::setw(static_cast<int>(width)) << "name"
+     << std::right << std::setw(16) << "baseline" << std::setw(16)
+     << "current" << std::setw(10) << "delta" << std::setw(10) << "thresh"
+     << "  status\n";
+  for (const MetricDiff& md : diff.metrics) {
+    os << std::left << std::setw(static_cast<int>(width)) << md.name
+       << std::right;
+    auto put_value = [&os](double v, bool exact) {
+      if (exact) {
+        os << std::setw(16) << static_cast<int64_t>(v);
+      } else {
+        os << std::setw(16) << std::fixed << std::setprecision(4) << v
+           << std::defaultfloat;
+      }
+    };
+    put_value(md.baseline, md.exact);
+    put_value(md.current, md.exact);
+    os << std::setw(9) << std::fixed << std::setprecision(2)
+       << md.rel_delta * 100 << "%" << std::defaultfloat;
+    if (md.exact) {
+      os << std::setw(10) << "exact";
+    } else {
+      os << std::setw(9) << std::fixed << std::setprecision(0)
+         << md.threshold * 100 << "%" << std::defaultfloat;
+    }
+    os << "  " << (md.pass ? "ok" : "FAIL") << "\n";
+  }
+  os << (diff.failures.empty()
+             ? "PASS"
+             : "REGRESSION in " + std::to_string(diff.failures.size()) +
+                   " metric(s)")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace scenario
+}  // namespace jisc

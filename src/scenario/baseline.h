@@ -1,0 +1,70 @@
+#ifndef JISC_SCENARIO_BASELINE_H_
+#define JISC_SCENARIO_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "scenario/bundle.h"
+
+namespace jisc {
+namespace scenario {
+
+// Baseline-diff logic behind `jiscbench compare`: a captured baseline
+// bundle against a fresh run of the same scenario.
+//
+// Two metric classes, matching the bundle's determinism split:
+//  * counters — deterministic work units; compared EXACTLY. Any drift, up
+//    or down, is a finding: an improvement is still a behavior change that
+//    must be acknowledged by re-capturing the baseline.
+//  * wall / histogram metrics — machine-dependent; a relative threshold
+//    applies, and only regressions (current above baseline) fail. Defaults
+//    are deliberately loose (CI machines are noisy); a spec tightens them
+//    per-metric via its `thresholds` map, carried inside the bundle.
+//
+// Stable exit codes (the CI contract): 0 pass, 3 regression, 4 spec error
+// (mismatched identities, unreadable bundle, wrong version).
+inline constexpr int kExitPass = 0;
+inline constexpr int kExitRegression = 3;
+inline constexpr int kExitSpecError = 4;
+
+struct MetricDiff {
+  std::string name;       // e.g. "counters.work_units"
+  double baseline = 0;
+  double current = 0;
+  double rel_delta = 0;   // (current - baseline) / baseline; 0 if both 0
+  double threshold = 0;   // allowed relative increase; 0 = exact
+  bool exact = false;     // counter-class metric (exact match required)
+  bool pass = true;
+};
+
+struct DiffResult {
+  std::string scenario;
+  std::string strategy;
+  bool spec_error = false;
+  std::string error;               // set when spec_error
+  std::vector<MetricDiff> metrics;
+  std::vector<std::string> failures;  // names of failing metrics
+
+  bool pass() const { return !spec_error && failures.empty(); }
+  int exit_code() const {
+    if (spec_error) return kExitSpecError;
+    return failures.empty() ? kExitPass : kExitRegression;
+  }
+};
+
+// Default relative thresholds for the non-deterministic metrics, keyed the
+// way diff.json names them. Spec thresholds override per key.
+double DefaultThreshold(const std::string& metric_name);
+
+DiffResult CompareRuns(const RunResult& baseline, const RunResult& current);
+
+Json DiffToJson(const DiffResult& diff);
+
+// Render as an aligned text table (what `jiscbench compare` prints, and
+// what the CI job summary embeds).
+std::string DiffToTable(const DiffResult& diff);
+
+}  // namespace scenario
+}  // namespace jisc
+
+#endif  // JISC_SCENARIO_BASELINE_H_

@@ -1,0 +1,222 @@
+#include "scenario/bundle.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace_export.h"
+
+namespace jisc {
+namespace scenario {
+namespace {
+
+Json IdentityJson(const RunResult& r) {
+  Json id = Json::Object();
+  id.Set("scenario", r.scenario);
+  id.Set("strategy", r.strategy);
+  id.Set("seed", r.seed);
+  id.Set("scale", r.scale);
+  id.Set("parallelism", r.parallelism);
+  return id;
+}
+
+Json CountersJson(const RunResult& r) {
+  Json counters = Json::Object();
+  for (const auto& [name, value] : r.counters) counters.Set(name, value);
+  return counters;
+}
+
+Json ShapeJson(const RunResult& r) {
+  Json shape = Json::Object();
+  shape.Set("window", r.window);
+  shape.Set("warmup_tuples", r.warmup_tuples);
+  shape.Set("measured_tuples", r.measured_tuples);
+  shape.Set("transitions", r.transitions);
+  shape.Set("checkpoint_restores", r.checkpoint_restores);
+  return shape;
+}
+
+Status ReadU64(const Json& obj, const char* key, uint64_t* out) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_int() || v->AsInt() < 0) {
+    return Status::InvalidArgument(std::string("run bundle: missing or "
+                                               "invalid '") +
+                                   key + "'");
+  }
+  *out = static_cast<uint64_t>(v->AsInt());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Json RunResultToJson(const RunResult& r) {
+  Json j = Json::Object();
+  j.Set("bundle_version", kBundleVersion);
+  j.Set("identity", IdentityJson(r));
+  j.Set("shape", ShapeJson(r));
+  j.Set("counters", CountersJson(r));
+  Json wall = Json::Object();
+  wall.Set("warmup_seconds", r.warmup_seconds);
+  wall.Set("measured_seconds", r.measured_seconds);
+  wall.Set("throughput_tps", r.throughput_tps);
+  j.Set("wall", std::move(wall));
+  Json hists = Json::Object();
+  for (const auto& [name, s] : r.histograms) {
+    Json h = Json::Object();
+    h.Set("count", s.count);
+    h.Set("p50", s.p50);
+    h.Set("p90", s.p90);
+    h.Set("p99", s.p99);
+    h.Set("max", s.max);
+    h.Set("mean", s.mean);
+    h.Set("overflow", s.overflow);
+    hists.Set(name, std::move(h));
+  }
+  j.Set("histograms", std::move(hists));
+  if (!r.thresholds.empty()) {
+    Json thresholds = Json::Object();
+    for (const auto& [name, value] : r.thresholds) {
+      thresholds.Set(name, value);
+    }
+    j.Set("thresholds", std::move(thresholds));
+  }
+  return j;
+}
+
+std::string SerializeDeterministic(const RunResult& r) {
+  Json j = Json::Object();
+  j.Set("identity", IdentityJson(r));
+  j.Set("shape", ShapeJson(r));
+  j.Set("counters", CountersJson(r));
+  return j.Pretty();
+}
+
+StatusOr<RunResult> RunResultFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("run bundle: expected an object");
+  }
+  const Json* version = json.Find("bundle_version");
+  if (version == nullptr || !version->is_int()) {
+    return Status::InvalidArgument("run bundle: missing bundle_version");
+  }
+  if (version->AsInt() != kBundleVersion) {
+    std::ostringstream os;
+    os << "run bundle: version " << version->AsInt() << " unsupported "
+       << "(expected " << kBundleVersion << "; re-capture the baseline)";
+    return Status::InvalidArgument(os.str());
+  }
+  RunResult r;
+  const Json* id = json.Find("identity");
+  if (id == nullptr || !id->is_object()) {
+    return Status::InvalidArgument("run bundle: missing identity");
+  }
+  if (const Json* v = id->Find("scenario"); v != nullptr && v->is_string()) {
+    r.scenario = v->AsString();
+  }
+  if (const Json* v = id->Find("strategy"); v != nullptr && v->is_string()) {
+    r.strategy = v->AsString();
+  }
+  Status s = ReadU64(*id, "seed", &r.seed);
+  if (!s.ok()) return s;
+  if (const Json* v = id->Find("scale"); v != nullptr && v->is_number()) {
+    r.scale = v->AsDouble();
+  }
+  if (const Json* v = id->Find("parallelism"); v != nullptr && v->is_int()) {
+    r.parallelism = static_cast<int>(v->AsInt());
+  }
+  if (const Json* shape = json.Find("shape");
+      shape != nullptr && shape->is_object()) {
+    ReadU64(*shape, "window", &r.window);
+    ReadU64(*shape, "warmup_tuples", &r.warmup_tuples);
+    ReadU64(*shape, "measured_tuples", &r.measured_tuples);
+    ReadU64(*shape, "transitions", &r.transitions);
+    ReadU64(*shape, "checkpoint_restores", &r.checkpoint_restores);
+  }
+  const Json* counters = json.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return Status::InvalidArgument("run bundle: missing counters");
+  }
+  for (const auto& [name, value] : counters->members()) {
+    if (!value.is_int() || value.AsInt() < 0) {
+      return Status::InvalidArgument("run bundle: counter '" + name +
+                                     "' must be a non-negative integer");
+    }
+    r.counters.emplace_back(name, static_cast<uint64_t>(value.AsInt()));
+  }
+  if (const Json* wall = json.Find("wall");
+      wall != nullptr && wall->is_object()) {
+    if (const Json* v = wall->Find("warmup_seconds");
+        v != nullptr && v->is_number()) {
+      r.warmup_seconds = v->AsDouble();
+    }
+    if (const Json* v = wall->Find("measured_seconds");
+        v != nullptr && v->is_number()) {
+      r.measured_seconds = v->AsDouble();
+    }
+    if (const Json* v = wall->Find("throughput_tps");
+        v != nullptr && v->is_number()) {
+      r.throughput_tps = v->AsDouble();
+    }
+  }
+  if (const Json* hists = json.Find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [name, h] : hists->members()) {
+      if (!h.is_object()) continue;
+      HistogramSummary summary;
+      ReadU64(h, "count", &summary.count);
+      ReadU64(h, "p50", &summary.p50);
+      ReadU64(h, "p90", &summary.p90);
+      ReadU64(h, "p99", &summary.p99);
+      ReadU64(h, "max", &summary.max);
+      ReadU64(h, "overflow", &summary.overflow);
+      if (const Json* v = h.Find("mean"); v != nullptr && v->is_number()) {
+        summary.mean = v->AsDouble();
+      }
+      r.histograms.emplace_back(name, summary);
+    }
+  }
+  if (const Json* thresholds = json.Find("thresholds");
+      thresholds != nullptr && thresholds->is_object()) {
+    for (const auto& [name, value] : thresholds->members()) {
+      if (value.is_number()) r.thresholds[name] = value.AsDouble();
+    }
+  }
+  return r;
+}
+
+StatusOr<RunResult> LoadRunFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open run bundle: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  StatusOr<Json> json = Json::Parse(buf.str());
+  if (!json.ok()) {
+    return Status(json.status().code(),
+                  path + ": " + json.status().message());
+  }
+  StatusOr<RunResult> result = RunResultFromJson(json.value());
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  path + ": " + result.status().message());
+  }
+  return result;
+}
+
+Status WriteRunBundle(const RunResult& result, const std::string& run_path,
+                      const std::string& trace_path) {
+  {
+    std::ofstream f(run_path);
+    if (!f) return Status::Internal("cannot write " + run_path);
+    f << RunResultToJson(result).Pretty();
+    if (!f.good()) return Status::Internal("short write to " + run_path);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    if (!f) return Status::Internal("cannot write " + trace_path);
+    WriteChromeTrace(f, result.trace, result.trace_dropped, result.scenario);
+    if (!f.good()) return Status::Internal("short write to " + trace_path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace scenario
+}  // namespace jisc

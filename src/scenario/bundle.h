@@ -1,0 +1,46 @@
+#ifndef JISC_SCENARIO_BUNDLE_H_
+#define JISC_SCENARIO_BUNDLE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "scenario/json.h"
+#include "scenario/runner.h"
+
+namespace jisc {
+namespace scenario {
+
+// The evidence bundle: run.json (and optionally a Chrome trace) written
+// after a scenario run, re-read by `jiscbench compare`. The JSON layout
+// mirrors RunResult's determinism split — everything under "counters" is
+// exact-match reproducible, everything under "wall" / "histograms" is
+// machine-dependent.
+
+// Current bundle format version; bumped on incompatible layout changes so
+// compare can reject a stale baseline with a clear message.
+inline constexpr int kBundleVersion = 1;
+
+// Full run.json document.
+Json RunResultToJson(const RunResult& result);
+
+// Canonical serialization of the deterministic section alone ("counters"
+// plus the identity header). Two runs of the same (spec, strategy, seed,
+// scale) must produce byte-identical output here — the determinism test
+// and the docs both point at this function.
+std::string SerializeDeterministic(const RunResult& result);
+
+// Inverse of RunResultToJson (trace spans are not round-tripped; compare
+// never needs them). Rejects unknown versions.
+StatusOr<RunResult> RunResultFromJson(const Json& json);
+StatusOr<RunResult> LoadRunFile(const std::string& path);
+
+// Writes run.json to `run_path`. When `trace_path` is non-empty and the
+// result captured spans, also writes a Chrome trace_event file loadable in
+// chrome://tracing / ui.perfetto.dev.
+Status WriteRunBundle(const RunResult& result, const std::string& run_path,
+                      const std::string& trace_path = "");
+
+}  // namespace scenario
+}  // namespace jisc
+
+#endif  // JISC_SCENARIO_BUNDLE_H_

@@ -1,0 +1,120 @@
+#ifndef JISC_SCENARIO_JSON_H_
+#define JISC_SCENARIO_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jisc {
+
+// A small JSON document model for the scenario harness: scenario specs are
+// parsed from it, evidence bundles (run.json / diff.json) are written
+// through it. Design points that matter here:
+//
+//  * Objects preserve insertion order, so serialization is canonical —
+//    writing the same value twice yields byte-identical text. The
+//    determinism gate (scenario_test) and `jiscbench compare` both rely on
+//    this.
+//  * Numbers keep their integer-ness: anything parsed without '.', 'e' or
+//    an overflow stays an int64 and is re-emitted exactly. Work-unit
+//    counters must round-trip without drifting through a double.
+//  * Parsing returns Status (with line/column) instead of throwing,
+//    matching the repo-wide no-exceptions error discipline.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(int64_t v) : kind_(Kind::kInt), int_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(uint64_t v) : kind_(Kind::kInt), int_(static_cast<int64_t>(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json v) { items_.push_back(std::move(v)); }
+  size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : items_.size();
+  }
+
+  // Object access. Members keep insertion order; Set overwrites in place so
+  // re-setting a key does not reorder the document.
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  void Set(const std::string& key, Json v);
+  // nullptr when absent.
+  const Json* Find(const std::string& key) const;
+
+  // Compact one-line serialization (no whitespace).
+  std::string Dump() const;
+  // Two-space-indented serialization; what run.json / diff.json use.
+  std::string Pretty() const;
+
+  void Write(std::ostream& os, int indent = -1, int depth = 0) const;
+
+  // Parses exactly one JSON document (trailing garbage is an error).
+  // Errors carry "line L column C" context.
+  static StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace jisc
+
+#endif  // JISC_SCENARIO_JSON_H_

@@ -1,0 +1,296 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "obs/observability.h"
+#include "plan/transitions.h"
+
+namespace jisc {
+namespace scenario {
+namespace {
+
+// Scaled schedule offset: 0 stays 0 (an event before the first measured
+// tuple), anything else is clamped into the measured range.
+uint64_t ScaleOffset(uint64_t at, double scale, uint64_t total) {
+  if (at == 0) return 0;
+  return std::min(ScaleCount(at, scale), total);
+}
+
+std::vector<StreamId> InitialOrder(int streams) {
+  std::vector<StreamId> order;
+  order.reserve(static_cast<size_t>(streams));
+  for (int i = 0; i < streams; ++i) {
+    order.push_back(static_cast<StreamId>(i));
+  }
+  return order;
+}
+
+// The per-event target join order. random_swap draws from an Rng seeded by
+// (run seed, event offset): the swap is deterministic for a given spec yet
+// differs across events.
+std::vector<StreamId> TargetOrder(const EventSpec& event,
+                                  const std::vector<StreamId>& initial,
+                                  const std::vector<StreamId>& current,
+                                  uint64_t seed) {
+  switch (event.transition) {
+    case TransitionKind::kInitial:
+      return initial;
+    case TransitionKind::kBestCase:
+      return BestCaseOrder(initial);
+    case TransitionKind::kWorstCase:
+      return WorstCaseOrder(initial);
+    case TransitionKind::kRandomSwap: {
+      Rng rng(HashCombine(seed, event.at));
+      return RandomTriangularSwap(current, &rng);
+    }
+  }
+  return current;
+}
+
+// Per-name (accumulated + final - warmup): every name appears in all three
+// snapshots in the same declaration order, and counters only grow, so the
+// subtraction never wraps.
+std::vector<std::pair<std::string, uint64_t>> CounterDelta(
+    const Metrics& accumulated, const Metrics& final_metrics,
+    const Metrics& warmup) {
+  auto acc = accumulated.NamedCounters();
+  auto fin = final_metrics.NamedCounters();
+  auto warm = warmup.NamedCounters();
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(fin.size());
+  for (size_t i = 0; i < fin.size(); ++i) {
+    out.emplace_back(fin[i].first,
+                     acc[i].second + fin[i].second - warm[i].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t ScaleCount(uint64_t paper_scale_count, double scale) {
+  auto scaled = static_cast<uint64_t>(
+      std::llround(static_cast<double>(paper_scale_count) * scale));
+  return scaled == 0 ? 1 : scaled;
+}
+
+uint64_t ScaleWindow(uint64_t paper_scale_window, double scale) {
+  // Same floor as bench_common's ScaledWindow: tiny windows distort the
+  // selectivity regime every scenario is designed around.
+  uint64_t scaled = ScaleCount(paper_scale_window, scale);
+  return scaled < 50 ? 50 : scaled;
+}
+
+StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
+  // Merge CLI overrides into an effective spec and re-validate: an
+  // override can invalidate a valid spec (e.g. --strategy cacq on a spec
+  // that schedules a checkpoint).
+  Spec eff = spec;
+  if (!options.strategy.empty()) eff.strategy = options.strategy;
+  if (options.parallelism > 0) eff.parallelism = options.parallelism;
+  if (options.seed.has_value()) eff.seed = *options.seed;
+  Status valid = ValidateSpec(eff);
+  if (!valid.ok()) return valid;
+  if (options.scale <= 0) {
+    return Status::InvalidArgument("scale must be > 0");
+  }
+  StatusOr<ProcessorKind> kind_or = StrategyFromName(eff.strategy);
+  if (!kind_or.ok()) return kind_or.status();
+  ProcessorKind kind = kind_or.value();
+  double scale = options.scale;
+
+  // Scaled windows.
+  int streams = eff.streams;
+  WindowSpec windows;
+  uint64_t window0 = 0;
+  if (eff.windows.empty()) {
+    window0 = ScaleWindow(eff.window, scale);
+    windows = WindowSpec::Uniform(streams, window0);
+  } else {
+    std::vector<uint64_t> sizes;
+    sizes.reserve(eff.windows.size());
+    for (uint64_t w : eff.windows) sizes.push_back(ScaleWindow(w, scale));
+    window0 = sizes[0];
+    windows = WindowSpec::PerStream(std::move(sizes));
+  }
+
+  // Arrival source. key_domain "auto" (0) tracks the scaled first-stream
+  // window — unit selectivity per probe, the figure benches' regime.
+  SourceConfig cfg;
+  cfg.num_streams = streams;
+  cfg.key_domain = eff.arrival.key_domain == 0
+                       ? window0
+                       : ScaleCount(eff.arrival.key_domain, scale);
+  cfg.zipf_s = eff.arrival.zipf_s;
+  cfg.key_pattern = eff.arrival.key_pattern;
+  cfg.fanout = eff.arrival.fanout;
+  if (eff.arrival.key_pattern == KeyPattern::kBottomFanout) {
+    cfg.fanout_streams =
+        eff.arrival.fanout_streams.empty()
+            ? std::vector<StreamId>{0, static_cast<StreamId>(streams - 1)}
+            : eff.arrival.fanout_streams;
+  }
+  cfg.interleave = eff.arrival.interleave;
+  cfg.seed = eff.seed;
+  SyntheticSource src(cfg);
+  uint64_t base_domain = cfg.key_domain;
+
+  Observability::Options obs_opts;
+  obs_opts.record_service_times = eff.service_times;
+  Observability obs(obs_opts);
+
+  LogicalPlan initial_plan =
+      LogicalPlan::LeftDeep(InitialOrder(streams), OpKind::kHashJoin);
+  BuiltProcessor built = MakeProcessor(kind, initial_plan, windows,
+                                       ThetaSpec(), eff.parallelism, &obs);
+
+  RunResult result;
+  result.scenario = eff.name;
+  result.strategy = eff.strategy;
+  result.seed = eff.seed;
+  result.scale = scale;
+  result.parallelism = eff.parallelism;
+  result.window = window0;
+  result.thresholds = eff.thresholds;
+
+  // Warmup: fill the windows outside the measured stage.
+  uint64_t warmup =
+      eff.warmup_tuples.has_value()
+          ? ScaleCount(*eff.warmup_tuples, scale)
+          : static_cast<uint64_t>(std::llround(
+                eff.warmup_windows * static_cast<double>(streams) *
+                static_cast<double>(window0)));
+  if (eff.warmup_tuples.has_value() && *eff.warmup_tuples == 0) warmup = 0;
+  result.warmup_tuples = warmup;
+  {
+    WallTimer timer;
+    for (uint64_t i = 0; i < warmup; ++i) built.processor->Push(src.Next());
+    // metrics() quiesces the sharded path, so the warmup snapshot (and the
+    // timer) cover completed work, not queued work.
+    result.warmup_seconds = timer.ElapsedSeconds();
+  }
+  Metrics warmup_snapshot = built.processor->metrics();
+
+  // Measured stage.
+  uint64_t total = 0;
+  for (const PhaseSpec& p : eff.phases) total += ScaleCount(p.tuples, scale);
+  result.measured_tuples = total;
+
+  // Schedule, scaled and stably ordered by offset.
+  struct ScaledEvent {
+    uint64_t at;
+    const EventSpec* event;
+  };
+  std::vector<ScaledEvent> schedule;
+  schedule.reserve(eff.schedule.size());
+  for (const EventSpec& e : eff.schedule) {
+    schedule.push_back({ScaleOffset(e.at, scale, total), &e});
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ScaledEvent& a, const ScaledEvent& b) {
+                     return a.at < b.at;
+                   });
+
+  std::vector<StreamId> initial_order = InitialOrder(streams);
+  std::vector<StreamId> current_order = initial_order;
+  // Replaced engines' counters (checkpoint/restore zeroes Metrics).
+  Metrics accumulated;
+
+  auto fire_event = [&](const EventSpec& event) -> Status {
+    if (event.action == EventSpec::Action::kTransition) {
+      std::vector<StreamId> target =
+          TargetOrder(event, initial_order, current_order, eff.seed);
+      if (target == current_order) return Status::Ok();
+      Status s = built.processor->RequestTransition(
+          LogicalPlan::LeftDeep(target, OpKind::kHashJoin));
+      if (!s.ok()) return s;
+      current_order = std::move(target);
+      ++result.transitions;
+      return Status::Ok();
+    }
+    // Checkpoint/restore (S16): serialize the engine, rebuild it from the
+    // bytes, and continue the run on the restored engine. The restored
+    // engine's Metrics restart from zero, so bank the old engine's
+    // counters first.
+    auto* engine = dynamic_cast<Engine*>(built.processor.get());
+    if (engine == nullptr) {
+      return Status::FailedPrecondition(
+          "checkpoint_restore: processor is not a single-threaded engine");
+    }
+    StatusOr<std::string> bytes = CheckpointEngine(*engine);
+    if (!bytes.ok()) return bytes.status();
+    accumulated += engine->metrics();
+    Engine::Options eopts;
+    eopts.obs = &obs;
+    eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
+    StatusOr<std::unique_ptr<Engine>> restored =
+        RestoreEngine(bytes.value(), built.sink.get(),
+                      EngineStrategyFactory(kind)(), eopts);
+    if (!restored.ok()) return restored.status();
+    built.processor = std::move(restored).value();
+    ++result.checkpoint_restores;
+    return Status::Ok();
+  };
+
+  size_t next_event = 0;
+  uint64_t pushed = 0;
+  WallTimer timer;
+  for (const PhaseSpec& phase : eff.phases) {
+    // Phases are self-contained: entering one sets the forced stream and
+    // the key domain it declares (or restores the configured defaults).
+    src.ForceStream(phase.force_stream);
+    src.SetKeyDomain(phase.key_domain.has_value()
+                         ? ScaleCount(*phase.key_domain, scale)
+                         : base_domain);
+    uint64_t phase_tuples = ScaleCount(phase.tuples, scale);
+    for (uint64_t i = 0; i < phase_tuples; ++i, ++pushed) {
+      while (next_event < schedule.size() &&
+             schedule[next_event].at == pushed) {
+        Status s = fire_event(*schedule[next_event].event);
+        if (!s.ok()) return s;
+        ++next_event;
+      }
+      built.processor->Push(src.Next());
+    }
+  }
+  // Events scheduled at (or clamped to) the end of the run.
+  while (next_event < schedule.size()) {
+    Status s = fire_event(*schedule[next_event].event);
+    if (!s.ok()) return s;
+    ++next_event;
+  }
+  // Quiescing metrics read doubles as the sharded path's barrier; take it
+  // inside the timed region so measured_seconds covers completed work.
+  Metrics final_metrics = built.processor->metrics();
+  result.measured_seconds = timer.ElapsedSeconds();
+  result.throughput_tps =
+      result.measured_seconds > 0
+          ? static_cast<double>(total) / result.measured_seconds
+          : 0;
+
+  result.counters = CounterDelta(accumulated, final_metrics, warmup_snapshot);
+
+  result.histograms.emplace_back("output_delay_ns",
+                                 SummarizeHistogram(obs.output_delay_ns));
+  result.histograms.emplace_back("completion_ns",
+                                 SummarizeHistogram(obs.completion_ns));
+  if (eff.service_times) {
+    result.histograms.emplace_back("probe_ns",
+                                   SummarizeHistogram(obs.probe_ns));
+    result.histograms.emplace_back("insert_ns",
+                                   SummarizeHistogram(obs.insert_ns));
+  }
+
+  if (options.capture_trace) {
+    result.trace = obs.trace.Snapshot();
+    result.trace_dropped = obs.trace.dropped();
+  }
+  return result;
+}
+
+}  // namespace scenario
+}  // namespace jisc

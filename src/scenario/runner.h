@@ -1,0 +1,92 @@
+#ifndef JISC_SCENARIO_RUNNER_H_
+#define JISC_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "scenario/spec.h"
+
+namespace jisc {
+namespace scenario {
+
+// Knobs the CLI layers on top of a spec. Anything overridden here is
+// recorded in the evidence bundle, so a baseline captured with an override
+// can never be silently compared against a run without it.
+struct RunOptions {
+  // Strategy override (a ProcessorKindName); empty = spec.strategy.
+  std::string strategy;
+  // Shard-count override; 0 = spec.parallelism.
+  int parallelism = 0;
+  // Seed override; spec.seed when nullopt.
+  std::optional<uint64_t> seed;
+  // Multiplies every paper-scale count in the spec (windows, phase tuple
+  // counts, warmup, schedule offsets). CI's perf gate runs at 0.02.
+  double scale = 1.0;
+  // Keep the migration-phase spans for a Chrome trace export.
+  bool capture_trace = false;
+};
+
+// The outcome of one scenario run, split along the determinism boundary:
+// `counters` is a pure function of (spec, strategy, seed, scale,
+// parallelism) — byte-identical across runs — while the wall-clock section
+// and the latency histograms vary with machine and load. `jiscbench
+// compare` holds the first section to exact equality and thresholds the
+// second.
+struct RunResult {
+  // Identity (compare refuses to diff across differing identities).
+  std::string scenario;
+  std::string strategy;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  int parallelism = 1;
+
+  // Effective (scaled) magnitudes.
+  uint64_t window = 0;
+  uint64_t warmup_tuples = 0;
+  uint64_t measured_tuples = 0;
+  uint64_t transitions = 0;
+  uint64_t checkpoint_restores = 0;
+
+  // Deterministic work counters over the measured stage (warmup excluded):
+  // Metrics::NamedCounters() deltas, in declaration order.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  // Wall-clock section (machine-dependent).
+  double warmup_seconds = 0;
+  double measured_seconds = 0;
+  double throughput_tps = 0;
+
+  // Latency quantiles from the observability bundle (output delay always;
+  // probe/insert only when the spec enables service_times).
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  // Thresholds carried over from the spec for the compare step.
+  std::map<std::string, double> thresholds;
+
+  // Migration-phase spans (only when RunOptions::capture_trace).
+  std::vector<TraceSpan> trace;
+  uint64_t trace_dropped = 0;
+};
+
+// Executes the scenario to completion. Deterministic given identical
+// (spec, options): the tuple sequence comes from the seeded synthetic
+// source, schedule events fire at exact tuple offsets, and random_swap
+// transitions derive their randomness from (seed, offset).
+StatusOr<RunResult> RunScenario(const Spec& spec,
+                                const RunOptions& options = RunOptions());
+
+// Scaled-count helpers (shared with the CLI for progress reporting).
+uint64_t ScaleCount(uint64_t paper_scale_count, double scale);
+uint64_t ScaleWindow(uint64_t paper_scale_window, double scale);
+
+}  // namespace scenario
+}  // namespace jisc
+
+#endif  // JISC_SCENARIO_RUNNER_H_

@@ -1,0 +1,137 @@
+#ifndef JISC_SCENARIO_SPEC_H_
+#define JISC_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scenario/json.h"
+#include "stream/synthetic_source.h"
+#include "types/tuple.h"
+#include "workload/factory.h"
+
+namespace jisc {
+namespace scenario {
+
+// A scenario spec is the JSON description of one controlled experiment:
+// the streams and their windows, how arrivals are shaped (skew, bursts,
+// lulls, straggler-inducing hot keys), what happens when (transitions,
+// checkpoint/restore), and which strategy is under test. Counts are
+// authored at paper scale (10,000-tuple windows); the runner multiplies
+// them by a scale factor (CI uses 0.02, like JISC_BENCH_SCALE) so one spec
+// serves both the PR gate and the nightly soak.
+//
+// Parsing is strict: an unknown key anywhere in the document is an error,
+// so a typo ("windwo": 100) fails the spec instead of silently running the
+// default. `jiscbench validate` exposes this check standalone.
+
+// Arrival shaping (maps onto stream/synthetic_source.h).
+struct ArrivalSpec {
+  Interleave interleave = Interleave::kRoundRobin;
+  KeyPattern key_pattern = KeyPattern::kSequential;
+  // 0 = "auto": the scaled window size, i.e. unit selectivity per probe —
+  // the regime every figure bench runs in.
+  uint64_t key_domain = 0;
+  // kRandom only: Zipf skew (0 = uniform). Skewed keys concentrate on few
+  // values, which under a sharded run also concentrates load on one shard
+  // (the straggler-shard scenarios are built from this).
+  double zipf_s = 0;
+  // kBottomFanout knobs; fanout_streams empty = first and last stream.
+  uint64_t fanout = 3;
+  std::vector<StreamId> fanout_streams;
+};
+
+// One contiguous slice of the measured run. Bursts pin arrivals to a
+// single stream; lulls are phases whose key domain is widened so probes
+// rarely match (output pressure drops); a plain phase restores the
+// configured arrival mix.
+struct PhaseSpec {
+  std::string label;
+  uint64_t tuples = 0;                     // paper-scale; scaled by runner
+  std::optional<StreamId> force_stream;    // burst: all arrivals one stream
+  std::optional<uint64_t> key_domain;      // selectivity shift (scaled)
+};
+
+// Join-order targets, all relative to the initial left-deep order.
+enum class TransitionKind {
+  kInitial,    // back to the starting order
+  kBestCase,   // paper Fig. 5: swap the two topmost streams
+  kWorstCase,  // paper Fig. 3b: reverse the order
+  kRandomSwap, // Section 5.2 triangular pairwise exchange (seeded by `at`)
+};
+
+struct EventSpec {
+  enum class Action { kTransition, kCheckpointRestore };
+  // Measured-tuple offset (paper-scale; scaled by the runner). Events at
+  // the same offset fire in spec order, before that tuple is pushed;
+  // at == total fires after the last tuple.
+  uint64_t at = 0;
+  Action action = Action::kTransition;
+  TransitionKind transition = TransitionKind::kBestCase;
+};
+
+struct Spec {
+  std::string name;
+  std::string description;
+  uint64_t seed = 42;
+
+  int streams = 4;
+  uint64_t window = 10000;          // uniform count window (paper scale)
+  std::vector<uint64_t> windows;    // per-stream override (paper scale)
+
+  ArrivalSpec arrival;
+
+  // Warmup fills the windows before measurement starts; counters and wall
+  // time of the measured stage exclude it. Expressed in full window
+  // turnovers (tuples = warmup_windows * streams * window) or directly.
+  double warmup_windows = 2;
+  std::optional<uint64_t> warmup_tuples;  // paper-scale override
+
+  std::vector<PhaseSpec> phases;    // at least one
+  std::vector<EventSpec> schedule;
+
+  // Strategy under test (a ProcessorKindName; `jiscbench run --strategy`
+  // overrides) and shard count for the engine kinds.
+  std::string strategy = "jisc";
+  int parallelism = 1;
+
+  // Record per-operator probe/insert service-time histograms (extra clock
+  // reads on the hot path; off by default).
+  bool service_times = false;
+
+  // Include in the CI perf-gate pack (the soak spec opts out).
+  bool gate = true;
+
+  // Per-metric relative thresholds for `jiscbench compare`, e.g.
+  // {"wall.measured_seconds": 0.5}. Counters are always exact-match and
+  // cannot be loosened here.
+  std::map<std::string, double> thresholds;
+};
+
+// Strategy-name lookup over workload/factory.h's ProcessorKindName table.
+StatusOr<ProcessorKind> StrategyFromName(const std::string& name);
+
+// Parse + validate. Unknown keys, wrong types, and semantically invalid
+// values (phase of zero tuples, event offset past the run, fanout stream
+// out of range, ...) are all InvalidArgument.
+StatusOr<Spec> ParseSpec(const Json& json);
+StatusOr<Spec> ParseSpecText(const std::string& text);
+StatusOr<Spec> LoadSpecFile(const std::string& path);
+
+// Inverse of ParseSpec; ParseSpec(SpecToJson(s)) reproduces s (the
+// round-trip test in scenario_test locks this in).
+Json SpecToJson(const Spec& spec);
+
+// Semantic validation (also run by ParseSpec).
+Status ValidateSpec(const Spec& spec);
+
+// Sum of phase tuple counts at paper scale.
+uint64_t TotalMeasuredTuples(const Spec& spec);
+
+}  // namespace scenario
+}  // namespace jisc
+
+#endif  // JISC_SCENARIO_SPEC_H_

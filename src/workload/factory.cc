@@ -44,16 +44,37 @@ std::vector<ProcessorKind> PipelineStrategyKinds() {
           ProcessorKind::kParallelTrack, ProcessorKind::kMovingState};
 }
 
+bool IsEngineKind(ProcessorKind kind) {
+  return kind == ProcessorKind::kJisc ||
+         kind == ProcessorKind::kJiscFirstReceipt ||
+         kind == ProcessorKind::kMovingState ||
+         kind == ProcessorKind::kStaticPipeline;
+}
+
+StrategyFactory EngineStrategyFactory(ProcessorKind kind) {
+  JISC_CHECK(IsEngineKind(kind))
+      << ProcessorKindName(kind) << " is not an engine kind";
+  switch (kind) {
+    case ProcessorKind::kJiscFirstReceipt: {
+      JiscOptions j;
+      j.completion_mode = JiscOptions::CompletionMode::kOnFirstReceipt;
+      return [j] { return MakeJiscStrategy(j); };
+    }
+    case ProcessorKind::kMovingState:
+    case ProcessorKind::kStaticPipeline:
+      return [] { return MakeMovingStateStrategy(); };
+    case ProcessorKind::kJisc:
+    default:
+      return [] { return MakeJiscStrategy(); };
+  }
+}
+
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows, ThetaSpec theta,
                              int parallelism, Observability* obs) {
   BuiltProcessor built;
   built.sink = std::make_unique<CountingSink>();
-  bool engine_kind = kind == ProcessorKind::kJisc ||
-                     kind == ProcessorKind::kJiscFirstReceipt ||
-                     kind == ProcessorKind::kMovingState ||
-                     kind == ProcessorKind::kStaticPipeline;
-  JISC_CHECK(parallelism <= 1 || engine_kind)
+  JISC_CHECK(parallelism <= 1 || IsEngineKind(kind))
       << ProcessorKindName(kind) << " does not support parallelism";
   Engine::Options eopts;
   eopts.exec.theta = theta;
@@ -61,30 +82,14 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
   eopts.obs = obs;
   switch (kind) {
     case ProcessorKind::kJisc:
-      built.processor =
-          MakeEngineProcessor(plan, windows, built.sink.get(),
-                              [] { return MakeJiscStrategy(); }, eopts);
-      break;
-    case ProcessorKind::kJiscFirstReceipt: {
-      JiscOptions j;
-      j.completion_mode = JiscOptions::CompletionMode::kOnFirstReceipt;
-      built.processor =
-          MakeEngineProcessor(plan, windows, built.sink.get(),
-                              [j] { return MakeJiscStrategy(j); }, eopts);
-      break;
-    }
+    case ProcessorKind::kJiscFirstReceipt:
     case ProcessorKind::kMovingState:
-      built.processor = MakeEngineProcessor(
-          plan, windows, built.sink.get(),
-          [] { return MakeMovingStateStrategy(); }, eopts);
+    case ProcessorKind::kStaticPipeline:
+      eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
+      built.processor =
+          MakeEngineProcessor(plan, windows, built.sink.get(),
+                              EngineStrategyFactory(kind), eopts);
       break;
-    case ProcessorKind::kStaticPipeline: {
-      eopts.track_freshness = false;
-      built.processor = MakeEngineProcessor(
-          plan, windows, built.sink.get(),
-          [] { return MakeMovingStateStrategy(); }, eopts);
-      break;
-    }
     case ProcessorKind::kParallelTrack: {
       ParallelTrackProcessor::Options popts;
       popts.exec.theta = theta;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel_engine.h"
 #include "exec/sink.h"
 #include "exec/stream_processor.h"
 #include "exec/theta.h"
@@ -33,6 +34,17 @@ const char* ProcessorKindName(ProcessorKind kind);
 // All pipelined-strategy kinds (for benches comparing the paper's main
 // three: JISC / CACQ / Parallel Track, plus Moving State for latency).
 std::vector<ProcessorKind> PipelineStrategyKinds();
+
+// True for the kinds built on the single-plan Engine (kJisc,
+// kJiscFirstReceipt, kMovingState, kStaticPipeline) — the ones that accept
+// parallelism > 1 and support checkpoint/restore.
+bool IsEngineKind(ProcessorKind kind);
+
+// The migration-strategy factory MakeProcessor wires into an engine kind.
+// Exposed so flows that rebuild an engine outside MakeProcessor — the
+// scenario runner's checkpoint/restore action restoring via RestoreEngine
+// — construct the identical strategy. CHECK-fails on non-engine kinds.
+StrategyFactory EngineStrategyFactory(ProcessorKind kind);
 
 // A processor wired to a counting sink.
 struct BuiltProcessor {

@@ -1,0 +1,370 @@
+// Scenario harness: JSON model, strict spec parsing, deterministic runs,
+// and the baseline-diff contract behind `jiscbench compare`.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/baseline.h"
+#include "scenario/bundle.h"
+#include "scenario/json.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+namespace jisc {
+namespace scenario {
+namespace {
+
+// ---------------------------------------------------------------- Json --
+
+TEST(JsonTest, ParsePreservesIntegersExactly) {
+  auto j = Json::Parse("{\"a\": 9007199254740993, \"b\": 1.5, \"c\": -3}");
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  const Json* a = j.value().Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->is_int());
+  // 2^53 + 1 is not representable as a double; an int64 path must keep it.
+  EXPECT_EQ(a->AsInt(), INT64_C(9007199254740993));
+  EXPECT_EQ(j.value().Find("b")->kind(), Json::Kind::kDouble);
+  EXPECT_EQ(j.value().Find("c")->AsInt(), -3);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  auto j = Json::Parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().Dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(JsonTest, DumpParseRoundTripIsByteIdentical) {
+  const std::string text =
+      "{\"s\":\"he\\\"llo\\n\",\"n\":null,\"t\":true,\"arr\":[1,2.5,"
+      "{\"k\":-7}],\"big\":123456789012345}";
+  auto j = Json::Parse(text);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ(j.value().Dump(), text);
+  auto again = Json::Parse(j.value().Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().Dump(), text);
+}
+
+TEST(JsonTest, RejectsDuplicateKeys) {
+  auto j = Json::Parse("{\"a\": 1, \"a\": 2}");
+  EXPECT_FALSE(j.ok());
+}
+
+TEST(JsonTest, RejectsTrailingContent) {
+  EXPECT_FALSE(Json::Parse("{} extra").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+}
+
+TEST(JsonTest, ErrorsCarryLineAndColumn) {
+  auto j = Json::Parse("{\n  \"a\": 1,\n  bad\n}");
+  ASSERT_FALSE(j.ok());
+  EXPECT_NE(j.status().message().find("line 3"), std::string::npos)
+      << j.status().ToString();
+}
+
+TEST(JsonTest, DecodesUnicodeEscapes) {
+  auto j = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().AsString(), "A\xc3\xa9");
+}
+
+// ---------------------------------------------------------------- Spec --
+
+// A spec exercising every optional field, authored small enough that the
+// runner tests below stay fast at scale 1.
+Spec TestSpec() {
+  Spec s;
+  s.name = "unit";
+  s.description = "unit-test scenario";
+  s.seed = 7;
+  s.streams = 3;
+  s.window = 100;
+  s.warmup_windows = 1;
+  PhaseSpec steady;
+  steady.label = "steady";
+  steady.tuples = 1500;
+  PhaseSpec burst;
+  burst.label = "burst";
+  burst.tuples = 500;
+  burst.force_stream = 1;
+  burst.key_domain = 40;
+  s.phases = {steady, burst};
+  EventSpec t1;
+  t1.at = 600;
+  t1.action = EventSpec::Action::kTransition;
+  t1.transition = TransitionKind::kBestCase;
+  s.schedule = {t1};
+  s.strategy = "jisc";
+  s.thresholds["wall.measured_seconds"] = 0.75;
+  return s;
+}
+
+TEST(SpecTest, ParseSpecToJsonRoundTrip) {
+  Spec s = TestSpec();
+  Json j = SpecToJson(s);
+  auto parsed = ParseSpec(j);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The inverse serialization must reproduce the document byte for byte.
+  EXPECT_EQ(SpecToJson(parsed.value()).Dump(), j.Dump());
+  EXPECT_EQ(parsed.value().name, "unit");
+  EXPECT_EQ(parsed.value().seed, 7u);
+  ASSERT_EQ(parsed.value().phases.size(), 2u);
+  EXPECT_EQ(parsed.value().phases[1].force_stream, StreamId{1});
+  ASSERT_EQ(parsed.value().schedule.size(), 1u);
+  EXPECT_EQ(parsed.value().schedule[0].transition, TransitionKind::kBestCase);
+  EXPECT_EQ(parsed.value().thresholds.at("wall.measured_seconds"), 0.75);
+}
+
+TEST(SpecTest, RejectsUnknownTopLevelKey) {
+  auto s = ParseSpecText(
+      "{\"name\": \"x\", \"windwo\": 100, "
+      "\"phases\": [{\"tuples\": 10}]}");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("windwo"), std::string::npos)
+      << s.status().ToString();
+}
+
+TEST(SpecTest, RejectsUnknownNestedKeys) {
+  EXPECT_FALSE(ParseSpecText("{\"name\": \"x\", "
+                             "\"arrival\": {\"keypattern\": \"random\"}, "
+                             "\"phases\": [{\"tuples\": 10}]}")
+                   .ok());
+  EXPECT_FALSE(ParseSpecText("{\"name\": \"x\", "
+                             "\"phases\": [{\"tuples\": 10, \"burst\": 1}]}")
+                   .ok());
+  EXPECT_FALSE(
+      ParseSpecText("{\"name\": \"x\", \"phases\": [{\"tuples\": 10}], "
+                    "\"schedule\": [{\"at\": 5, \"transition\": "
+                    "\"best_case\", \"extra\": true}]}")
+          .ok());
+}
+
+TEST(SpecTest, ValidatesSemantics) {
+  Spec s = TestSpec();
+  s.phases[0].tuples = 0;
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.schedule[0].at = TotalMeasuredTuples(s) + 1;
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.strategy = "cacq";
+  s.parallelism = 4;  // eddies are single-threaded
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.strategy = "cacq";
+  EventSpec cp;
+  cp.at = 100;
+  cp.action = EventSpec::Action::kCheckpointRestore;
+  s.schedule.push_back(cp);  // checkpoint needs an engine strategy
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.strategy = "no-such-strategy";
+  EXPECT_FALSE(ValidateSpec(s).ok());
+}
+
+TEST(SpecTest, EventRequiresExactlyOneAction) {
+  EXPECT_FALSE(
+      ParseSpecText("{\"name\": \"x\", \"phases\": [{\"tuples\": 10}], "
+                    "\"schedule\": [{\"at\": 5}]}")
+          .ok());
+  EXPECT_FALSE(
+      ParseSpecText("{\"name\": \"x\", \"phases\": [{\"tuples\": 10}], "
+                    "\"schedule\": [{\"at\": 5, \"transition\": "
+                    "\"best_case\", \"checkpoint_restore\": true}]}")
+          .ok());
+}
+
+// -------------------------------------------------------------- Runner --
+
+TEST(RunnerTest, SameSeedRunsAreByteIdentical) {
+  Spec s = TestSpec();
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(SerializeDeterministic(a.value()),
+            SerializeDeterministic(b.value()));
+  EXPECT_EQ(a.value().transitions, 1u);
+  EXPECT_GT(a.value().measured_tuples, 0u);
+}
+
+TEST(RunnerTest, ShardedRunsAreByteIdentical) {
+  Spec s = TestSpec();
+  s.streams = 4;
+  s.parallelism = 2;
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(SerializeDeterministic(a.value()),
+            SerializeDeterministic(b.value()));
+}
+
+TEST(RunnerTest, SeedChangesTheDeterministicSection) {
+  Spec s = TestSpec();
+  s.arrival.key_pattern = KeyPattern::kRandom;
+  s.arrival.key_domain = 60;
+  auto a = RunScenario(s);
+  RunOptions other;
+  other.seed = 12345;
+  auto b = RunScenario(s, other);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(SerializeDeterministic(a.value()),
+            SerializeDeterministic(b.value()));
+}
+
+TEST(RunnerTest, StrategyOverrideIsRecorded) {
+  Spec s = TestSpec();
+  RunOptions opts;
+  opts.strategy = "moving-state";
+  auto r = RunScenario(s, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().strategy, "moving-state");
+}
+
+TEST(RunnerTest, InvalidOverrideIsRejected) {
+  Spec s = TestSpec();
+  RunOptions opts;
+  opts.strategy = "cacq";
+  opts.parallelism = 4;  // valid spec, invalid combination
+  EXPECT_FALSE(RunScenario(s, opts).ok());
+}
+
+TEST(RunnerTest, CheckpointRestoreContinuesTheRun) {
+  Spec s = TestSpec();
+  s.schedule.clear();
+  EventSpec t1;
+  t1.at = 400;
+  t1.transition = TransitionKind::kBestCase;
+  EventSpec cp;
+  cp.at = 1200;  // several window turnovers after the transition
+  cp.action = EventSpec::Action::kCheckpointRestore;
+  s.schedule = {t1, cp};
+  auto with_cp = RunScenario(s);
+  ASSERT_TRUE(with_cp.ok()) << with_cp.status().ToString();
+  EXPECT_EQ(with_cp.value().checkpoint_restores, 1u);
+
+  // Restore is behaviour-preserving, so the work-unit counters must match
+  // the uninterrupted run of the same scenario.
+  s.schedule = {t1};
+  auto without = RunScenario(s);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with_cp.value().counters, without.value().counters);
+}
+
+TEST(RunnerTest, ScaleHelpers) {
+  EXPECT_EQ(ScaleCount(10000, 0.02), 200u);
+  EXPECT_EQ(ScaleCount(10, 0.02), 1u);     // never rounds to zero
+  EXPECT_EQ(ScaleWindow(10000, 0.02), 200u);
+  EXPECT_EQ(ScaleWindow(100, 0.02), 50u);  // window floor
+}
+
+// -------------------------------------------------------- Bundle / diff --
+
+TEST(BundleTest, RunResultRoundTripsThroughJson) {
+  auto r = RunScenario(TestSpec());
+  ASSERT_TRUE(r.ok());
+  auto back = RunResultFromJson(RunResultToJson(r.value()));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(SerializeDeterministic(back.value()),
+            SerializeDeterministic(r.value()));
+  EXPECT_EQ(back.value().thresholds, r.value().thresholds);
+}
+
+TEST(BundleTest, RejectsUnknownBundleVersion) {
+  auto r = RunScenario(TestSpec());
+  ASSERT_TRUE(r.ok());
+  Json j = RunResultToJson(r.value());
+  j.Set("bundle_version", kBundleVersion + 1);
+  EXPECT_FALSE(RunResultFromJson(j).ok());
+}
+
+TEST(CompareTest, IdenticalRunsPass) {
+  auto a = RunScenario(TestSpec());
+  auto b = RunScenario(TestSpec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  DiffResult diff = CompareRuns(a.value(), b.value());
+  EXPECT_TRUE(diff.pass()) << DiffToTable(diff);
+  EXPECT_EQ(diff.exit_code(), kExitPass);
+}
+
+TEST(CompareTest, InjectedWorkUnitRegressionFails) {
+  auto base = RunScenario(TestSpec());
+  ASSERT_TRUE(base.ok());
+  RunResult regressed = base.value();
+  for (auto& [name, value] : regressed.counters) {
+    if (name == "work_units") value += value / 10;  // +10%
+  }
+  DiffResult diff = CompareRuns(base.value(), regressed);
+  EXPECT_EQ(diff.exit_code(), kExitRegression);
+  ASSERT_EQ(diff.failures.size(), 1u);
+  EXPECT_EQ(diff.failures[0], "counters.work_units");
+  // The offending metric is named in diff.json.
+  std::string json = DiffToJson(diff).Dump();
+  EXPECT_NE(json.find("counters.work_units"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"regression\""), std::string::npos);
+}
+
+TEST(CompareTest, CounterImprovementAlsoFails) {
+  // Exact-match means drift in either direction forces a re-capture.
+  auto base = RunScenario(TestSpec());
+  ASSERT_TRUE(base.ok());
+  RunResult improved = base.value();
+  for (auto& [name, value] : improved.counters) {
+    if (name == "work_units") value -= value / 10;
+  }
+  EXPECT_EQ(CompareRuns(base.value(), improved).exit_code(),
+            kExitRegression);
+}
+
+TEST(CompareTest, IdentityMismatchIsSpecError) {
+  auto a = RunScenario(TestSpec());
+  ASSERT_TRUE(a.ok());
+  RunResult other = a.value();
+  other.strategy = "moving-state";
+  DiffResult diff = CompareRuns(a.value(), other);
+  EXPECT_EQ(diff.exit_code(), kExitSpecError);
+
+  other = a.value();
+  other.scale = 0.5;
+  EXPECT_EQ(CompareRuns(a.value(), other).exit_code(), kExitSpecError);
+}
+
+// The wall-clock tests pin measured_seconds on both sides: the real value
+// depends on machine load, and a delta derived from it can straddle a
+// threshold or the absolute floor.
+TEST(CompareTest, WallClockNoiseBelowFloorPasses) {
+  auto a = RunScenario(TestSpec());
+  ASSERT_TRUE(a.ok());
+  RunResult base = a.value();
+  base.measured_seconds = 0.004;
+  RunResult b = base;
+  b.measured_seconds = 0.04;  // +900% relative, but under the 50ms floor
+  DiffResult diff = CompareRuns(base, b);
+  EXPECT_TRUE(diff.pass()) << DiffToTable(diff);
+}
+
+TEST(CompareTest, SpecThresholdOverridesDefault) {
+  auto a = RunScenario(TestSpec());
+  ASSERT_TRUE(a.ok());
+  RunResult base = a.value();
+  base.measured_seconds = 1.0;
+  RunResult b = base;
+  b.measured_seconds = 3.0;                      // way past the 50% default
+  b.thresholds["wall.measured_seconds"] = 5.0;   // ...but allowed
+  EXPECT_TRUE(CompareRuns(base, b).pass());
+  b.thresholds.erase("wall.measured_seconds");
+  EXPECT_FALSE(CompareRuns(base, b).pass());
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace jisc

@@ -1,0 +1,251 @@
+// jiscbench: the scenario-harness CLI.
+//
+//   jiscbench run <spec.json> [--strategy S] [--parallelism N] [--seed N]
+//                 [--scale F] [--out FILE] [--trace FILE]
+//       Execute a scenario and write its evidence bundle (run.json; with
+//       --trace also a Chrome trace). Default output: <name>.run.json.
+//
+//   jiscbench capture <spec.json>... [--scale F] [--out-dir DIR]
+//       Run each spec and write the bundle as DIR/<name>.json — the
+//       baseline-capture flow (DIR defaults to baselines/).
+//
+//   jiscbench compare <baseline.json> <run.json> [--out diff.json]
+//       Diff a run against a captured baseline. Prints the metric table,
+//       writes diff.json when --out is given.
+//
+//   jiscbench validate <spec.json>...
+//       Parse + validate specs (strict: unknown keys are errors).
+//
+//   jiscbench list
+//       Print the available strategy names.
+//
+// Exit codes (stable; CI depends on them): 0 success / comparison passed,
+// 2 usage error, 3 comparison found a regression, 4 spec or bundle error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/baseline.h"
+#include "scenario/bundle.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+
+namespace jisc {
+namespace scenario {
+namespace {
+
+constexpr int kExitUsage = 2;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  jiscbench run <spec.json> [--strategy S] [--parallelism N]\n"
+      "            [--seed N] [--scale F] [--out FILE] [--trace FILE]\n"
+      "  jiscbench capture <spec.json>... [--scale F] [--out-dir DIR]\n"
+      "  jiscbench compare <baseline.json> <run.json> [--out diff.json]\n"
+      "  jiscbench validate <spec.json>...\n"
+      "  jiscbench list\n";
+  return kExitUsage;
+}
+
+int SpecError(const Status& status) {
+  std::cerr << "jiscbench: " << status.ToString() << "\n";
+  return kExitSpecError;
+}
+
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::string strategy;
+  int parallelism = 0;
+  std::optional<uint64_t> seed;
+  double scale = 1.0;
+  std::string out;
+  std::string out_dir;
+  std::string trace;
+  bool ok = true;
+};
+
+ParsedArgs ParseArgs(int argc, char** argv) {
+  ParsedArgs args;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "jiscbench: " << arg << " needs a value\n";
+        args.ok = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--strategy") {
+      if (const char* v = next()) args.strategy = v;
+    } else if (arg == "--parallelism") {
+      if (const char* v = next()) args.parallelism = std::atoi(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      if (const char* v = next()) args.scale = std::atof(v);
+    } else if (arg == "--out") {
+      if (const char* v = next()) args.out = v;
+    } else if (arg == "--out-dir") {
+      if (const char* v = next()) args.out_dir = v;
+    } else if (arg == "--trace") {
+      if (const char* v = next()) args.trace = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "jiscbench: unknown flag " << arg << "\n";
+      args.ok = false;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+RunOptions ToRunOptions(const ParsedArgs& args, bool capture_trace) {
+  RunOptions opts;
+  opts.strategy = args.strategy;
+  opts.parallelism = args.parallelism;
+  opts.seed = args.seed;
+  opts.scale = args.scale;
+  opts.capture_trace = capture_trace;
+  return opts;
+}
+
+void PrintRunSummary(const RunResult& r) {
+  std::cout << "scenario " << r.scenario << " strategy=" << r.strategy
+            << " seed=" << r.seed << " scale=" << r.scale
+            << " parallelism=" << r.parallelism << "\n"
+            << "  warmup " << r.warmup_tuples << " tuples ("
+            << r.warmup_seconds << "s), measured " << r.measured_tuples
+            << " tuples (" << r.measured_seconds << "s, "
+            << static_cast<uint64_t>(r.throughput_tps) << " tps)\n"
+            << "  transitions=" << r.transitions
+            << " checkpoint_restores=" << r.checkpoint_restores << "\n";
+  for (const auto& [name, value] : r.counters) {
+    if (name == "work_units" || name == "outputs" || name == "completions") {
+      std::cout << "  " << name << "=" << value << "\n";
+    }
+  }
+  for (const auto& [name, s] : r.histograms) {
+    if (s.count == 0) continue;
+    std::cout << "  " << name << ": count=" << s.count << " p50=" << s.p50
+              << " p99=" << s.p99 << " max=" << s.max << "\n";
+  }
+}
+
+int CmdRun(const ParsedArgs& args) {
+  if (args.positional.size() != 1) return Usage();
+  StatusOr<Spec> spec = LoadSpecFile(args.positional[0]);
+  if (!spec.ok()) return SpecError(spec.status());
+  StatusOr<RunResult> result =
+      RunScenario(spec.value(), ToRunOptions(args, !args.trace.empty()));
+  if (!result.ok()) return SpecError(result.status());
+  std::string out =
+      args.out.empty() ? result.value().scenario + ".run.json" : args.out;
+  Status s = WriteRunBundle(result.value(), out, args.trace);
+  if (!s.ok()) return SpecError(s);
+  PrintRunSummary(result.value());
+  std::cout << "wrote " << out;
+  if (!args.trace.empty()) std::cout << " and " << args.trace;
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdCapture(const ParsedArgs& args) {
+  if (args.positional.empty()) return Usage();
+  std::string dir = args.out_dir.empty() ? "baselines" : args.out_dir;
+  for (const std::string& path : args.positional) {
+    StatusOr<Spec> spec = LoadSpecFile(path);
+    if (!spec.ok()) return SpecError(spec.status());
+    StatusOr<RunResult> result =
+        RunScenario(spec.value(), ToRunOptions(args, false));
+    if (!result.ok()) return SpecError(result.status());
+    std::string out = dir + "/" + result.value().scenario + ".json";
+    Status s = WriteRunBundle(result.value(), out);
+    if (!s.ok()) return SpecError(s);
+    std::cout << "captured " << out << " (work_units=";
+    for (const auto& [name, value] : result.value().counters) {
+      if (name == "work_units") std::cout << value;
+    }
+    std::cout << ")\n";
+  }
+  return 0;
+}
+
+int CmdCompare(const ParsedArgs& args) {
+  if (args.positional.size() != 2) return Usage();
+  StatusOr<RunResult> baseline = LoadRunFile(args.positional[0]);
+  StatusOr<RunResult> current = LoadRunFile(args.positional[1]);
+  DiffResult diff;
+  if (!baseline.ok() || !current.ok()) {
+    diff.spec_error = true;
+    diff.error = (!baseline.ok() ? baseline.status() : current.status())
+                     .ToString();
+  } else {
+    diff = CompareRuns(baseline.value(), current.value());
+  }
+  if (!args.out.empty()) {
+    std::ofstream f(args.out);
+    if (!f) {
+      std::cerr << "jiscbench: cannot write " << args.out << "\n";
+      return kExitSpecError;
+    }
+    f << DiffToJson(diff).Pretty();
+  }
+  std::cout << DiffToTable(diff);
+  return diff.exit_code();
+}
+
+int CmdValidate(const ParsedArgs& args) {
+  if (args.positional.empty()) return Usage();
+  int rc = 0;
+  for (const std::string& path : args.positional) {
+    StatusOr<Spec> spec = LoadSpecFile(path);
+    if (!spec.ok()) {
+      std::cerr << path << ": " << spec.status().ToString() << "\n";
+      rc = kExitSpecError;
+    } else {
+      std::cout << path << ": ok (" << spec.value().name << ", strategy "
+                << spec.value().strategy << ", "
+                << TotalMeasuredTuples(spec.value())
+                << " paper-scale tuples)\n";
+    }
+  }
+  return rc;
+}
+
+int CmdList() {
+  for (ProcessorKind kind :
+       {ProcessorKind::kJisc, ProcessorKind::kJiscFirstReceipt,
+        ProcessorKind::kMovingState, ProcessorKind::kParallelTrack,
+        ProcessorKind::kHybridTrack, ProcessorKind::kCacq,
+        ProcessorKind::kMJoin, ProcessorKind::kStairsEager,
+        ProcessorKind::kStairsJisc, ProcessorKind::kStaticPipeline}) {
+    std::cout << ProcessorKindName(kind) << "\n";
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  ParsedArgs args = ParseArgs(argc - 2, argv + 2);
+  if (!args.ok) return kExitUsage;
+  if (cmd == "run") return CmdRun(args);
+  if (cmd == "capture") return CmdCapture(args);
+  if (cmd == "compare") return CmdCompare(args);
+  if (cmd == "validate") return CmdValidate(args);
+  if (cmd == "list") return CmdList();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace jisc
+
+int main(int argc, char** argv) { return jisc::scenario::Main(argc, argv); }

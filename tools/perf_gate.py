@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI perf gate: run every gated scenario and diff it against its baseline.
+
+For each scenarios/*.json with "gate" not set to false:
+  1. jiscbench run <spec> --scale <scale> --out <out>/<name>.run.json
+  2. jiscbench compare baselines/<name>.json <run> --out <out>/<name>.diff.json
+
+Writes a markdown summary (to $GITHUB_STEP_SUMMARY when present, stdout
+otherwise) and exits with the worst exit code seen: 0 pass, 3 regression,
+4 spec/baseline error. Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+EXIT_PASS = 0
+EXIT_REGRESSION = 3
+EXIT_SPEC_ERROR = 4
+
+
+def gated_specs(scenario_dir):
+    for path in sorted(pathlib.Path(scenario_dir).glob("*.json")):
+        with open(path) as f:
+            spec = json.load(f)
+        if spec.get("gate", True):
+            yield path, spec["name"]
+
+
+def diff_rows(diff):
+    """Markdown table rows for one diff.json, failures first."""
+    rows = []
+    for m in sorted(diff.get("metrics", []), key=lambda m: m["pass"]):
+        status = "ok" if m["pass"] else "**FAIL**"
+        kind = "exact" if m["exact"] else f"{m['threshold'] * 100:.0f}%"
+        rows.append(
+            f"| {m['name']} | {m['baseline']:g} | {m['current']:g} "
+            f"| {m['rel_delta'] * 100:+.2f}% | {kind} | {status} |"
+        )
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jiscbench", default="build/tools/jiscbench")
+    ap.add_argument("--scenarios", default="scenarios")
+    ap.add_argument("--baselines", default="baselines")
+    ap.add_argument("--out-dir", default="perf-gate-out")
+    ap.add_argument("--scale", default="0.02")
+    args = ap.parse_args()
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    summary = ["# Perf gate", "",
+               f"Scale {args.scale}; counters exact-match, wall/latency "
+               "thresholded (regressions only).", ""]
+    worst = EXIT_PASS
+    results = []
+
+    for spec_path, name in gated_specs(args.scenarios):
+        run_path = out_dir / f"{name}.run.json"
+        diff_path = out_dir / f"{name}.diff.json"
+        baseline = pathlib.Path(args.baselines) / f"{name}.json"
+
+        run = subprocess.run(
+            [args.jiscbench, "run", str(spec_path), "--scale", args.scale,
+             "--out", str(run_path)],
+            capture_output=True, text=True)
+        if run.returncode != 0:
+            worst = max(worst, EXIT_SPEC_ERROR)
+            results.append((name, "run failed", run.stderr.strip()))
+            continue
+        if not baseline.exists():
+            worst = max(worst, EXIT_SPEC_ERROR)
+            results.append((name, "no baseline",
+                            f"{baseline} missing — capture it with "
+                            f"`jiscbench capture {spec_path} --scale "
+                            f"{args.scale}`"))
+            continue
+
+        cmp_proc = subprocess.run(
+            [args.jiscbench, "compare", str(baseline), str(run_path),
+             "--out", str(diff_path)],
+            capture_output=True, text=True)
+        worst = max(worst, cmp_proc.returncode)
+        try:
+            with open(diff_path) as f:
+                diff = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            diff = {"status": "spec_error",
+                    "error": cmp_proc.stderr.strip() or "no diff.json"}
+        results.append((name, diff.get("status", "?"), diff))
+
+    for name, status, detail in results:
+        icon = {"pass": "✅", "regression": "❌"}.get(status, "⚠️")
+        summary.append(f"## {icon} {name} — {status}")
+        summary.append("")
+        if not isinstance(detail, dict):
+            summary.append(f"```\n{detail}\n```")
+            summary.append("")
+            continue
+        if detail.get("error"):
+            summary.append(f"`{detail['error']}`")
+            summary.append("")
+        failures = detail.get("failures", [])
+        if failures:
+            summary.append("Failing metrics: " +
+                           ", ".join(f"`{f}`" for f in failures))
+            summary.append("")
+        rows = diff_rows(detail)
+        if rows:
+            # Full table only when something failed; otherwise keep the job
+            # summary short.
+            if failures:
+                summary.append("| metric | baseline | current | delta "
+                               "| allowed | status |")
+                summary.append("|---|---|---|---|---|---|")
+                summary.extend(rows)
+            else:
+                summary.append(f"{len(rows)} metrics compared, all ok.")
+            summary.append("")
+
+    verdict = {EXIT_PASS: "PASS", EXIT_REGRESSION: "REGRESSION"}.get(
+        worst, "SPEC ERROR")
+    summary.append(f"**Overall: {verdict}** (exit {worst})")
+    text = "\n".join(summary) + "\n"
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as f:
+            f.write(text)
+    print(text)
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())
