@@ -48,17 +48,26 @@ inline std::vector<StreamId> Order(int streams) {
 // Observability export hook shared by the benches. When JISC_OBS_DIR is
 // set, writes <dir>/<name>.trace.json (Chrome trace_event format, loadable
 // in chrome://tracing or ui.perfetto.dev) and <dir>/<name>.metrics.json
-// (flat counters + histogram quantiles). Returns false when the hook is
-// inactive; tools/trace_summary.py renders either file on a terminal.
+// (flat counters + histogram quantiles + trace-ring drop count). When
+// `sampler` is non-null, also <dir>/<name>.telemetry.jsonl (the sampled
+// time-series, tools/telemetry_plot.py input) and <dir>/<name>.prom
+// (Prometheus text format for a textfile collector). Returns false when
+// the hook is inactive; tools/trace_summary.py renders the trace/metrics
+// files on a terminal. CHECK-fails on a write failure: a bench run asked
+// to produce evidence must not silently drop it.
 inline bool ExportObservability(const std::string& name,
                                 const Observability& obs,
-                                const Metrics* metrics = nullptr) {
+                                const Metrics* metrics = nullptr,
+                                const TelemetrySampler* sampler = nullptr) {
   const char* dir = std::getenv("JISC_OBS_DIR");
   if (dir == nullptr || *dir == '\0') return false;
   std::string base = std::string(dir) + "/" + name;
   {
-    std::ofstream f(base + ".trace.json");
+    std::string path = base + ".trace.json";
+    std::ofstream f(path);
+    JISC_CHECK(f.good()) << "cannot write " << path;
     WriteChromeTrace(f, obs.trace.Snapshot(), obs.trace.dropped(), name);
+    JISC_CHECK(f.good()) << "short write to " << path;
   }
   std::vector<std::pair<std::string, uint64_t>> counters;
   if (metrics != nullptr) counters = metrics->NamedCounters();
@@ -67,8 +76,34 @@ inline bool ExportObservability(const std::string& name,
       {"probe_ns", &obs.probe_ns},
       {"insert_ns", &obs.insert_ns},
       {"completion_ns", &obs.completion_ns}};
-  std::ofstream f(base + ".metrics.json");
-  WriteMetricsJson(f, counters, hists);
+  {
+    std::string path = base + ".metrics.json";
+    std::ofstream f(path);
+    JISC_CHECK(f.good()) << "cannot write " << path;
+    WriteMetricsJson(f, counters, hists, obs.trace.dropped());
+    JISC_CHECK(f.good()) << "short write to " << path;
+  }
+  if (sampler != nullptr) {
+    std::vector<TelemetrySnapshot> series = sampler->Snapshots();
+    {
+      std::string path = base + ".telemetry.jsonl";
+      std::ofstream f(path);
+      JISC_CHECK(f.good()) << "cannot write " << path;
+      WriteTelemetryJsonl(f, series, sampler->dropped_snapshots());
+      JISC_CHECK(f.good()) << "short write to " << path;
+    }
+    std::vector<std::pair<std::string, HistogramSummary>> summaries;
+    summaries.reserve(hists.size());
+    for (const auto& [hname, h] : hists) {
+      summaries.emplace_back(hname, SummarizeHistogram(*h));
+    }
+    std::string path = base + ".prom";
+    std::ofstream f(path);
+    JISC_CHECK(f.good()) << "cannot write " << path;
+    WritePrometheusText(f, counters, summaries,
+                        series.empty() ? nullptr : &series.back());
+    JISC_CHECK(f.good()) << "short write to " << path;
+  }
   return true;
 }
 

@@ -5,10 +5,20 @@
 // Expected shape (paper): JISC adds almost nothing over the plain pipeline;
 // CACQ is roughly 2x slower because every tuple bounces through the eddy
 // once per join.
+//
+// JISC_TELEMETRY_MS=<period>: attach the live-telemetry plane (gauges +
+// background sampler at that period) to each contender's run — the CI
+// observability-smoke job and the perf gate's telemetry-overhead probe both
+// use this knob. With JISC_OBS_DIR also set, the sampled series lands next
+// to the trace/metrics files as <name>.telemetry.jsonl / <name>.prom.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench/bench_common.h"
+#include "obs/observability.h"
+#include "obs/telemetry.h"
 
 namespace jisc {
 namespace bench {
@@ -19,6 +29,8 @@ constexpr int kJoins = 20;
 void RunNormal(benchmark::State& state, ProcessorKind kind) {
   int streams = kJoins + 1;
   uint64_t window = ScaledWindow();
+  uint64_t telemetry_ms =
+      static_cast<uint64_t>(GetEnvInt("JISC_TELEMETRY_MS", 0));
   LogicalPlan plan = LogicalPlan::LeftDeep(Order(streams), OpKind::kHashJoin);
   for (auto _ : state) {
     SourceConfig cfg;
@@ -28,8 +40,21 @@ void RunNormal(benchmark::State& state, ProcessorKind kind) {
     cfg.fanout_streams = {0, static_cast<StreamId>(cfg.num_streams - 1)};
     cfg.seed = 99;
     SyntheticSource src(cfg);
+    std::unique_ptr<Observability> obs;
+    std::unique_ptr<TelemetrySampler> sampler;
+    if (telemetry_ms > 0) {
+      Observability::Options oopts;
+      oopts.telemetry = true;
+      obs = std::make_unique<Observability>(oopts);
+    }
     BuiltProcessor built =
-        MakeProcessor(kind, plan, WindowSpec::Uniform(streams, window));
+        MakeProcessor(kind, plan, WindowSpec::Uniform(streams, window),
+                      ThetaSpec(), /*parallelism=*/1, obs.get());
+    if (obs != nullptr) {
+      TelemetrySampler::Options topts;
+      topts.period_ms = telemetry_ms;
+      sampler = std::make_unique<TelemetrySampler>(obs.get(), topts);
+    }
     // Warm the windows, then measure steady state.
     for (size_t i = 0; i < static_cast<size_t>(streams) * window; ++i) {
       built.processor->Push(src.Next());
@@ -46,6 +71,13 @@ void RunNormal(benchmark::State& state, ProcessorKind kind) {
                                static_cast<double>(stats.tuples)},
         {"eddy_visits",
          static_cast<double>(built.processor->metrics().eddy_visits)}};
+    if (sampler != nullptr) {
+      sampler->Stop();
+      row.emplace_back("telemetry_samples",
+                       static_cast<double>(sampler->samples_taken()));
+      ExportObservability(std::string("fig09_") + ProcessorKindName(kind),
+                          *obs, &built.processor->metrics(), sampler.get());
+    }
     for (const auto& [name, value] : row) state.counters[name] = value;
     EmitRowJson("fig09", ProcessorKindName(kind), kJoins, stats.seconds,
                 row);

@@ -4,9 +4,21 @@
 
 #include "common/logging.h"
 #include "exec/validate.h"
+#include "obs/observability.h"
 #include "obs/trace.h"
 
 namespace jisc {
+
+namespace {
+
+// The telemetry registry when both observability and its telemetry option
+// are on; nullptr otherwise, so every gauge site below stays one pointer
+// test on the disabled path.
+inline TelemetryRegistry* TelemetryOf(const Engine::Options& options) {
+  return options.obs != nullptr ? options.obs->telemetry.get() : nullptr;
+}
+
+}  // namespace
 
 Engine::Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
                std::unique_ptr<MigrationStrategy> strategy)
@@ -32,6 +44,9 @@ void Engine::WireExecutor() {
     obs_sink_.Wire(sink_, options_.obs);
     exec_->SetSink(&obs_sink_);
     exec_->SetObservability(options_.obs, options_.obs_track);
+    if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+      telemetry->RegisterTracks(options_.obs_track + 1);
+    }
   } else {
     exec_->SetSink(sink_);
   }
@@ -42,10 +57,16 @@ void Engine::WireExecutor() {
 
 void Engine::Push(const BaseTuple& tuple) {
   if (!buffer_.empty()) Drain();
+  if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+    // The coordinator owns the input gauges; a shard engine's arrivals were
+    // already counted by the ParallelExecutor front-end that routed them.
+    if (options_.obs_track == 0) telemetry->OnInput(tuple.seq);
+  }
   Admit(tuple);
   if (++events_since_maintain_ >= options_.maintain_period) {
     events_since_maintain_ = 0;
     strategy_->Maintain(this);
+    RefreshStateMemoryGauge();
   }
 }
 
@@ -56,6 +77,9 @@ void Engine::Admit(const BaseTuple& tuple) {
   strategy_->OnArrival(this, tuple, stamp);
   exec_->PushArrival(tuple, stamp);
   exec_->RunUntilIdle();
+  if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+    telemetry->OnEventProcessed(options_.obs_track, tuple.seq);
+  }
 }
 
 void Engine::PushExpiry(const BaseTuple& tuple) {
@@ -68,9 +92,22 @@ void Engine::PushExpiry(const BaseTuple& tuple) {
   Stamp stamp = AllocateStamp();
   exec_->PushExpiry(tuple, stamp);
   exec_->RunUntilIdle();
+  if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+    // Expiries count as progress: an expiry-heavy shard is busy, not
+    // stalled, and must not trip the stall watchdog.
+    telemetry->OnEventProcessed(options_.obs_track, tuple.seq);
+  }
   if (++events_since_maintain_ >= options_.maintain_period) {
     events_since_maintain_ = 0;
     strategy_->Maintain(this);
+    RefreshStateMemoryGauge();
+  }
+}
+
+void Engine::RefreshStateMemoryGauge() {
+  if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+    telemetry->SetStateMemoryBytes(options_.obs_track,
+                                   ApproxStateMemoryBytes(*exec_));
   }
 }
 

@@ -114,6 +114,10 @@ class Engine : public StreamProcessor {
   void WireExecutor();
   // Admits one event and processes its cascade to quiescence.
   void Admit(const BaseTuple& tuple);
+  // Updates this track's telemetry state-memory gauge (no-op when telemetry
+  // is off). Called on the maintain cadence, not per event: the estimate is
+  // O(num_ops) and a gauge only needs sampling-rate freshness.
+  void RefreshStateMemoryGauge();
 
   WindowSpec windows_;
   Options options_;

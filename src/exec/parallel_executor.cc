@@ -1,9 +1,11 @@
 #include "exec/parallel_executor.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/observability.h"
 #include "obs/trace.h"
 
 namespace jisc {
@@ -21,6 +23,12 @@ ParallelExecutor::ParallelExecutor(const LogicalPlan& plan,
   JISC_CHECK(options_.batch_size >= 1);
   Status shardable = ValidateShardable(plan);
   JISC_CHECK(shardable.ok()) << shardable.ToString();
+  if (options_.obs != nullptr) telemetry_ = options_.obs->telemetry.get();
+  if (telemetry_ != nullptr) {
+    // Track 0 is the coordinator; shard i records on track i + 1 (same
+    // numbering as the trace recorder).
+    telemetry_->RegisterTracks(1 + options_.num_shards);
+  }
   if (sink != nullptr) {
     locked_sink_ = std::make_unique<LockedSink>(sink);
   }
@@ -29,6 +37,7 @@ ParallelExecutor::ParallelExecutor(const LogicalPlan& plan,
     shard->processor = factory(locked_sink_.get(), i);
     JISC_CHECK(shard->processor != nullptr);
     shard->pending.reserve(options_.batch_size);
+    shard->index = i;
     shards_.push_back(std::move(shard));
   }
   name_ = "parallel-" + std::to_string(options_.num_shards) + "x-" +
@@ -79,8 +88,22 @@ void ParallelExecutor::FlushShard(Shard& s) {
   EventBatch batch;
   batch.reserve(options_.batch_size);
   batch.swap(s.pending);
-  bool pushed = s.feed.Push(std::move(batch));
-  JISC_CHECK(pushed) << "shard feed closed while pushing";
+  if (telemetry_ == nullptr) {
+    bool pushed = s.feed.Push(std::move(batch));
+    JISC_CHECK(pushed) << "shard feed closed while pushing";
+    return;
+  }
+  const int track = s.index + 1;
+  // TryPush first so the common uncontended hand-off takes zero clock
+  // reads; only a full feed (the coordinator about to block on
+  // backpressure) pays for two timestamps to meter the stall.
+  if (!s.feed.TryPush(batch)) {
+    uint64_t t0 = telemetry_->NowNs();
+    bool pushed = s.feed.Push(std::move(batch));
+    JISC_CHECK(pushed) << "shard feed closed while pushing";
+    telemetry_->OnStall(track, telemetry_->NowNs() - t0);
+  }
+  telemetry_->SetQueueDepth(track, s.feed.SizeApprox());
 }
 
 void ParallelExecutor::FlushAll() {
@@ -89,6 +112,7 @@ void ParallelExecutor::FlushAll() {
 
 void ParallelExecutor::Push(const BaseTuple& tuple) {
   JISC_CHECK(tuple.stream < live_.size());
+  if (telemetry_ != nullptr) telemetry_->OnInput(tuple.seq);
   std::deque<BaseTuple>& window = live_[tuple.stream];
   // Global window slide: same trigger as StreamScan::OnArrival, but the
   // displaced tuple's expiry is routed to the shard that owns it, ahead of
@@ -190,9 +214,20 @@ Metrics ParallelExecutor::MetricsApprox() const {
 void ParallelExecutor::WorkerLoop(int shard_index) {
   Shard& s = *shards_[static_cast<size_t>(shard_index)];
   StreamProcessor* proc = s.processor.get();
+  const int track = shard_index + 1;
+  // Injected straggler (tests/scenarios): periodic wall-clock sleeps on one
+  // worker, no effect on outputs or deterministic counters.
+  const bool inject = shard_index == options_.straggler_shard &&
+                      options_.straggler_stall_ns > 0 &&
+                      options_.straggler_stall_every > 0;
+  uint64_t injected_events = 0;
   EventBatch batch;
   while (s.feed.Pop(&batch)) {
     for (ShardEvent& ev : batch) {
+      if (inject && ++injected_events % options_.straggler_stall_every == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(options_.straggler_stall_ns));
+      }
       switch (ev.kind) {
         case ShardEvent::Kind::kArrival:
           proc->Push(ev.base);
@@ -218,6 +253,12 @@ void ParallelExecutor::WorkerLoop(int shard_index) {
       }
     }
     batch.clear();
+    // Consumer-side refresh: the depth gauge must fall back to zero when
+    // the worker catches up even if the coordinator stopped flushing, or
+    // the watchdog would see phantom backlog on an idle shard.
+    if (telemetry_ != nullptr) {
+      telemetry_->SetQueueDepth(track, s.feed.SizeApprox());
+    }
   }
 }
 

@@ -20,6 +20,8 @@
 
 namespace jisc {
 
+class TelemetryRegistry;
+
 // Hash-partitioned parallel execution engine.
 //
 // Tuples are sharded by join-attribute hash across N workers; each worker
@@ -73,6 +75,14 @@ class ParallelExecutor : public StreamProcessor {
     // broadcast/barrier spans on track 0; shard processors (wired by the
     // factory) record on track shard + 1 into the same bundle.
     Observability* obs = nullptr;
+    // Fault injection for the telemetry stall watchdog (tests/scenarios
+    // only): the worker of shard `straggler_shard` sleeps for
+    // `straggler_stall_ns` after every `straggler_stall_every` processed
+    // events. Wall-clock only — outputs and deterministic counters are
+    // untouched, so injected runs stay baseline-comparable. -1 = off.
+    int straggler_shard = -1;
+    uint64_t straggler_stall_ns = 0;
+    uint64_t straggler_stall_every = 64;
   };
 
   // Builds the worker for one shard. `shard_sink` delivers the shard's
@@ -140,6 +150,7 @@ class ParallelExecutor : public StreamProcessor {
     SpscQueue<EventBatch> feed;  // coordinator -> worker (single producer)
     std::unique_ptr<StreamProcessor> processor;
     EventBatch pending;  // coordinator-side batch under construction
+    int index = -1;      // telemetry track = index + 1
     std::thread thread;
   };
 
@@ -157,6 +168,9 @@ class ParallelExecutor : public StreamProcessor {
   void WorkerLoop(int shard_index);
 
   Options options_;
+  // Cached from options_.obs (nullptr = telemetry off): gauge sites in the
+  // Push/flush hot path and the worker loops gate on this one pointer.
+  TelemetryRegistry* telemetry_ = nullptr;
   WindowSpec windows_;
   std::string name_;
   std::unique_ptr<LockedSink> locked_sink_;

@@ -139,4 +139,12 @@ uint64_t StateMemoryBytes(const PipelineExecutor& exec) {
   return bytes;
 }
 
+uint64_t ApproxStateMemoryBytes(const PipelineExecutor& exec) {
+  uint64_t bytes = 0;
+  for (int id = 0; id < exec.num_ops(); ++id) {
+    bytes += exec.op(id)->state().ApproxBytes();
+  }
+  return bytes;
+}
+
 }  // namespace jisc

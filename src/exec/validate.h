@@ -28,6 +28,11 @@ uint64_t StateBytes(const OperatorState& st);
 // by the Section 5 memory comparison.
 uint64_t StateMemoryBytes(const PipelineExecutor& exec);
 
+// O(num_ops) variant built on OperatorState::ApproxBytes() — same formula
+// as StateBytes without walking the live entries. Cheap enough for the
+// telemetry state-memory gauge refreshed on the engine's maintain cadence.
+uint64_t ApproxStateMemoryBytes(const PipelineExecutor& exec);
+
 }  // namespace jisc
 
 #endif  // JISC_EXEC_VALIDATE_H_

@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "obs/histogram.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace jisc {
@@ -31,11 +33,18 @@ struct Observability {
     // so it is separable from span tracing and off by default even when
     // observability itself is on.
     bool record_service_times = false;
+    // Allocate the live telemetry registry (obs/telemetry.h): per-track
+    // gauges the hot paths update and a TelemetrySampler can snapshot.
+    // Off by default — like `obs == nullptr`, a null `telemetry` member
+    // keeps every gauge write out of the hot path behind one pointer test.
+    bool telemetry = false;
   };
 
   Observability() : Observability(Options()) {}
   explicit Observability(Options opts)
-      : options(opts), trace(opts.trace_capacity) {}
+      : options(opts), trace(opts.trace_capacity) {
+    if (opts.telemetry) telemetry = std::make_unique<TelemetryRegistry>();
+  }
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
@@ -62,6 +71,11 @@ struct Observability {
   // drain, purge scans, shard transitions...). See DESIGN.md
   // "Observability" for the span taxonomy.
   TraceRecorder trace;
+
+  // Live telemetry gauges (only when options.telemetry; nullptr = off).
+  // Recording sites gate on this pointer exactly like the execution layer
+  // gates on `Observability*` itself.
+  std::unique_ptr<TelemetryRegistry> telemetry;
 
   // Merges another bundle's histograms into this one (per-shard bundles
   // aggregated after a run; spans stay with their own recorder).

@@ -95,7 +95,8 @@ HistogramSummary SummarizeHistogram(const Histogram& h) {
 void WriteMetricsJson(
     std::ostream& os,
     const std::vector<std::pair<std::string, uint64_t>>& counters,
-    const std::vector<std::pair<std::string, const Histogram*>>& histograms) {
+    const std::vector<std::pair<std::string, const Histogram*>>& histograms,
+    uint64_t trace_dropped) {
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
@@ -116,7 +117,123 @@ void WriteMetricsJson(
        << ", \"overflow\": " << s.overflow << "}";
     first = false;
   }
-  os << "\n  }\n}\n";
+  os << "\n  },\n  \"trace\": {\"dropped\": " << trace_dropped << "}\n}\n";
+}
+
+void WriteTelemetryJsonl(std::ostream& os,
+                         const std::vector<TelemetrySnapshot>& series,
+                         uint64_t dropped_snapshots) {
+  for (const TelemetrySnapshot& s : series) {
+    os << "{\"t_ns\":" << s.t_ns << ",\"input_events\":" << s.input_events
+       << ",\"input_seq\":" << s.input_seq << ",\"outputs\":"
+       << s.output_count << ",\"probes\":" << s.probe_count
+       << ",\"inserts\":" << s.insert_count << ",\"completions\":"
+       << s.completion_count << ",\"tracks\":[";
+    bool first = true;
+    for (size_t t = 0; t < s.tracks.size(); ++t) {
+      const TelemetryTrackSample& ts = s.tracks[t];
+      os << (first ? "" : ",") << "{\"track\":" << t << ",\"progress\":"
+         << ts.progress_events << ",\"seq\":" << ts.progress_seq
+         << ",\"queue\":" << ts.queue_depth << ",\"queue_hwm\":"
+         << ts.queue_high_watermark << ",\"stalls\":" << ts.stall_count
+         << ",\"stalled_ns\":" << ts.stalled_ns << ",\"state_bytes\":"
+         << ts.state_memory_bytes << ",\"straggler\":"
+         << ts.straggler_flags << "}";
+      first = false;
+    }
+    os << "]}\n";
+  }
+  if (dropped_snapshots != 0) {
+    os << "{\"dropped_snapshots\":" << dropped_snapshots << "}\n";
+  }
+}
+
+namespace {
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our counter
+// and histogram names already do (identifiers with underscores), but
+// sanitize defensively so a future dashed name cannot corrupt the scrape.
+void WritePromName(std::ostream& os, const std::string& name) {
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    os << (ok ? c : '_');
+  }
+}
+
+}  // namespace
+
+void WritePrometheusText(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<std::pair<std::string, HistogramSummary>>& histograms,
+    const TelemetrySnapshot* latest) {
+  os << "# HELP jisc_counter Deterministic work counters "
+        "(Metrics::NamedCounters).\n"
+     << "# TYPE jisc_counter counter\n";
+  for (const auto& [name, value] : counters) {
+    os << "jisc_counter{name=\"";
+    WritePromName(os, name);
+    os << "\"} " << value << "\n";
+  }
+  os << "# HELP jisc_latency_ns Latency/service-time quantiles in "
+        "nanoseconds.\n"
+     << "# TYPE jisc_latency_ns summary\n";
+  for (const auto& [name, s] : histograms) {
+    const std::pair<const char*, uint64_t> quantiles[] = {
+        {"0.5", s.p50}, {"0.9", s.p90}, {"0.99", s.p99}};
+    for (const auto& [q, v] : quantiles) {
+      os << "jisc_latency_ns{name=\"";
+      WritePromName(os, name);
+      os << "\",quantile=\"" << q << "\"} " << v << "\n";
+    }
+    os << "jisc_latency_ns_count{name=\"";
+    WritePromName(os, name);
+    os << "\"} " << s.count << "\n";
+    os << "jisc_latency_ns_max{name=\"";
+    WritePromName(os, name);
+    os << "\"} " << s.max << "\n";
+  }
+  if (latest == nullptr) return;
+  os << "# HELP jisc_input_events_total Arrivals admitted by the "
+        "coordinator.\n"
+     << "# TYPE jisc_input_events_total counter\n"
+     << "jisc_input_events_total " << latest->input_events << "\n"
+     << "# HELP jisc_input_seq Highest arrival sequence number admitted.\n"
+     << "# TYPE jisc_input_seq gauge\n"
+     << "jisc_input_seq " << latest->input_seq << "\n";
+  struct Gauge {
+    const char* name;
+    const char* help;
+    const char* type;
+    uint64_t TelemetryTrackSample::*field;
+  };
+  const Gauge gauges[] = {
+      {"jisc_track_progress_events_total", "Events processed by the track.",
+       "counter", &TelemetryTrackSample::progress_events},
+      {"jisc_track_progress_seq", "Highest sequence processed (watermark).",
+       "gauge", &TelemetryTrackSample::progress_seq},
+      {"jisc_track_queue_depth", "Shard feed occupancy in batches.", "gauge",
+       &TelemetryTrackSample::queue_depth},
+      {"jisc_track_queue_high_watermark", "Peak shard feed occupancy.",
+       "gauge", &TelemetryTrackSample::queue_high_watermark},
+      {"jisc_track_stalls_total", "Backpressure stalls feeding the shard.",
+       "counter", &TelemetryTrackSample::stall_count},
+      {"jisc_track_stalled_ns_total", "Nanoseconds spent stalled.",
+       "counter", &TelemetryTrackSample::stalled_ns},
+      {"jisc_track_state_memory_bytes", "Approximate state bytes.", "gauge",
+       &TelemetryTrackSample::state_memory_bytes},
+      {"jisc_track_straggler_flags_total", "Stall-watchdog verdicts.",
+       "counter", &TelemetryTrackSample::straggler_flags},
+  };
+  for (const Gauge& g : gauges) {
+    os << "# HELP " << g.name << " " << g.help << "\n"
+       << "# TYPE " << g.name << " " << g.type << "\n";
+    for (size_t t = 0; t < latest->tracks.size(); ++t) {
+      os << g.name << "{track=\"" << t << "\"} " << latest->tracks[t].*g.field
+         << "\n";
+    }
+  }
 }
 
 }  // namespace jisc

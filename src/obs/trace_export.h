@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/histogram.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace jisc {
@@ -39,13 +40,38 @@ struct HistogramSummary {
 HistogramSummary SummarizeHistogram(const Histogram& h);
 
 // Flat metrics JSON: {"counters": {name: value, ...},
-// "histograms": {name: {count, p50, p90, p99, max, mean, overflow}, ...}}.
-// Counter names come from the caller (e.g. Metrics::NamedCounters()), so
-// this layer stays independent of the execution library.
+// "histograms": {name: {count, p50, p90, p99, max, mean, overflow}, ...},
+// "trace": {"dropped": N}}. Counter names come from the caller (e.g.
+// Metrics::NamedCounters()), so this layer stays independent of the
+// execution library. `trace_dropped` (TraceRecorder::dropped()) makes
+// silent span loss visible in the flat export, not just the Chrome trace.
 void WriteMetricsJson(
     std::ostream& os,
     const std::vector<std::pair<std::string, uint64_t>>& counters,
-    const std::vector<std::pair<std::string, const Histogram*>>& histograms);
+    const std::vector<std::pair<std::string, const Histogram*>>& histograms,
+    uint64_t trace_dropped = 0);
+
+// Telemetry time-series as JSONL: one JSON object per line per snapshot
+// ({"t_ns":..., "input_events":..., ..., "tracks":[{...}, ...]}), the
+// format tools/telemetry_plot.py renders. `dropped_snapshots`
+// (TelemetrySampler::dropped_snapshots()) is emitted as a trailing
+// {"dropped_snapshots": N} line when non-zero, so a truncated series says
+// so.
+void WriteTelemetryJsonl(std::ostream& os,
+                         const std::vector<TelemetrySnapshot>& series,
+                         uint64_t dropped_snapshots = 0);
+
+// Prometheus text exposition format (version 0.0.4), the textfile-collector
+// flavor: counters, histogram summary quantiles, and (when `latest` is
+// non-null) the most recent telemetry snapshot's gauges labeled by track.
+// No HTTP server is involved — write this to a file a node_exporter
+// textfile collector scrapes, or serve it with anything that can cat a
+// file.
+void WritePrometheusText(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<std::pair<std::string, HistogramSummary>>& histograms,
+    const TelemetrySnapshot* latest = nullptr);
 
 }  // namespace jisc
 

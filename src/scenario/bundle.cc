@@ -35,6 +35,50 @@ Json ShapeJson(const RunResult& r) {
   return shape;
 }
 
+// The sampled telemetry series — a noisy section like "wall": it never
+// enters SerializeDeterministic, so telemetry on/off cannot perturb the
+// deterministic byte-identity the determinism test locks in.
+Json TelemetryJson(const TelemetryResult& t) {
+  Json j = Json::Object();
+  j.Set("period_ms", t.period_ms);
+  j.Set("watchdog_samples", t.watchdog_samples);
+  j.Set("samples", t.samples);
+  j.Set("dropped_snapshots", t.dropped_snapshots);
+  Json flags = Json::Array();
+  for (uint64_t f : t.straggler_flags) flags.Append(f);
+  j.Set("straggler_flags", std::move(flags));
+  Json series = Json::Array();
+  for (const TelemetrySnapshot& s : t.series) {
+    Json snap = Json::Object();
+    snap.Set("t_ns", s.t_ns);
+    snap.Set("input_events", s.input_events);
+    snap.Set("input_seq", s.input_seq);
+    snap.Set("outputs", s.output_count);
+    snap.Set("probes", s.probe_count);
+    snap.Set("inserts", s.insert_count);
+    snap.Set("completions", s.completion_count);
+    Json tracks = Json::Array();
+    for (size_t i = 0; i < s.tracks.size(); ++i) {
+      const TelemetryTrackSample& ts = s.tracks[i];
+      Json track = Json::Object();
+      track.Set("track", static_cast<uint64_t>(i));
+      track.Set("progress", ts.progress_events);
+      track.Set("seq", ts.progress_seq);
+      track.Set("queue", ts.queue_depth);
+      track.Set("queue_hwm", ts.queue_high_watermark);
+      track.Set("stalls", ts.stall_count);
+      track.Set("stalled_ns", ts.stalled_ns);
+      track.Set("state_bytes", ts.state_memory_bytes);
+      track.Set("straggler", ts.straggler_flags);
+      tracks.Append(std::move(track));
+    }
+    snap.Set("tracks", std::move(tracks));
+    series.Append(std::move(snap));
+  }
+  j.Set("series", std::move(series));
+  return j;
+}
+
 Status ReadU64(const Json& obj, const char* key, uint64_t* out) {
   const Json* v = obj.Find(key);
   if (v == nullptr || !v->is_int() || v->AsInt() < 0) {
@@ -79,6 +123,7 @@ Json RunResultToJson(const RunResult& r) {
     }
     j.Set("thresholds", std::move(thresholds));
   }
+  if (r.telemetry.enabled) j.Set("telemetry", TelemetryJson(r.telemetry));
   return j;
 }
 
@@ -178,6 +223,28 @@ StatusOr<RunResult> RunResultFromJson(const Json& json) {
       thresholds != nullptr && thresholds->is_object()) {
     for (const auto& [name, value] : thresholds->members()) {
       if (value.is_number()) r.thresholds[name] = value.AsDouble();
+    }
+  }
+  // Telemetry summary only; the series (like trace spans) is write-only —
+  // compare never needs per-snapshot data.
+  if (const Json* telemetry = json.Find("telemetry");
+      telemetry != nullptr && telemetry->is_object()) {
+    r.telemetry.enabled = true;
+    ReadU64(*telemetry, "period_ms", &r.telemetry.period_ms);
+    if (const Json* v = telemetry->Find("watchdog_samples");
+        v != nullptr && v->is_int()) {
+      r.telemetry.watchdog_samples = static_cast<int>(v->AsInt());
+    }
+    ReadU64(*telemetry, "samples", &r.telemetry.samples);
+    ReadU64(*telemetry, "dropped_snapshots", &r.telemetry.dropped_snapshots);
+    if (const Json* flags = telemetry->Find("straggler_flags");
+        flags != nullptr && flags->is_array()) {
+      for (const Json& f : flags->items()) {
+        if (f.is_int() && f.AsInt() >= 0) {
+          r.telemetry.straggler_flags.push_back(
+              static_cast<uint64_t>(f.AsInt()));
+        }
+      }
     }
   }
   return r;

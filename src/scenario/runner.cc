@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "common/hash.h"
 #include "common/timer.h"
 #include "core/checkpoint.h"
 #include "core/engine.h"
+#include "exec/parallel_executor.h"
 #include "obs/observability.h"
+#include "obs/telemetry.h"
 #include "plan/transitions.h"
 
 namespace jisc {
@@ -141,12 +145,37 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
 
   Observability::Options obs_opts;
   obs_opts.record_service_times = eff.service_times;
+  bool telemetry_on =
+      eff.telemetry.enabled || options.telemetry_period_ms > 0;
+  obs_opts.telemetry = telemetry_on;
   Observability obs(obs_opts);
+
+  // Straggler fault injection rides the ParallelExecutor options; only the
+  // engine kinds at parallelism > 1 reach it (ValidateSpec enforces that).
+  ParallelExecutor::Options parallel_options;
+  if (eff.fault.straggler_shard >= 0) {
+    parallel_options.straggler_shard = eff.fault.straggler_shard;
+    parallel_options.straggler_stall_ns = eff.fault.stall_ms * 1000000ull;
+    parallel_options.straggler_stall_every = eff.fault.stall_every;
+  }
 
   LogicalPlan initial_plan =
       LogicalPlan::LeftDeep(InitialOrder(streams), OpKind::kHashJoin);
-  BuiltProcessor built = MakeProcessor(kind, initial_plan, windows,
-                                       ThetaSpec(), eff.parallelism, &obs);
+  BuiltProcessor built =
+      MakeProcessor(kind, initial_plan, windows, ThetaSpec(),
+                    eff.parallelism, &obs, parallel_options);
+
+  // The sampler starts after the processor is built (tracks registered) and
+  // covers warmup + measured stage; Stop() below takes the final snapshot.
+  TelemetrySampler::Options sampler_opts;
+  sampler_opts.period_ms = options.telemetry_period_ms > 0
+                               ? options.telemetry_period_ms
+                               : eff.telemetry.period_ms;
+  sampler_opts.watchdog_samples = eff.telemetry.watchdog_samples;
+  std::unique_ptr<TelemetrySampler> sampler;
+  if (telemetry_on) {
+    sampler = std::make_unique<TelemetrySampler>(&obs, sampler_opts);
+  }
 
   RunResult result;
   result.scenario = eff.name;
@@ -288,6 +317,47 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
   if (options.capture_trace) {
     result.trace = obs.trace.Snapshot();
     result.trace_dropped = obs.trace.dropped();
+  }
+
+  if (sampler != nullptr) {
+    sampler->Stop();
+    result.telemetry.enabled = true;
+    result.telemetry.period_ms = sampler_opts.period_ms;
+    result.telemetry.watchdog_samples = sampler_opts.watchdog_samples;
+    result.telemetry.samples = sampler->samples_taken();
+    result.telemetry.dropped_snapshots = sampler->dropped_snapshots();
+    result.telemetry.series = sampler->Snapshots();
+    result.telemetry.straggler_flags = sampler->StragglerFlags();
+    // Watchdog expectations: lock in the verdict from the spec itself —
+    // symmetric specs must stay flag-free, fault-injection specs must flag
+    // exactly the injected shard.
+    const std::vector<uint64_t>& flags = result.telemetry.straggler_flags;
+    if (eff.telemetry.expect_no_stragglers) {
+      for (size_t t = 0; t < flags.size(); ++t) {
+        if (flags[t] != 0) {
+          return Status::FailedPrecondition(
+              "telemetry: watchdog flagged track " + std::to_string(t) +
+              " as a straggler, but the spec expects none");
+        }
+      }
+    }
+    if (eff.telemetry.expect_straggler_shard.has_value()) {
+      size_t want =
+          static_cast<size_t>(*eff.telemetry.expect_straggler_shard) + 1;
+      if (want >= flags.size() || flags[want] == 0) {
+        return Status::FailedPrecondition(
+            "telemetry: watchdog did not flag shard " +
+            std::to_string(*eff.telemetry.expect_straggler_shard) +
+            " despite the injected stall");
+      }
+      for (size_t t = 0; t < flags.size(); ++t) {
+        if (t != want && flags[t] != 0) {
+          return Status::FailedPrecondition(
+              "telemetry: watchdog flagged track " + std::to_string(t) +
+              " in addition to the injected shard");
+        }
+      }
+    }
   }
   return result;
 }

@@ -31,6 +31,26 @@ struct RunOptions {
   double scale = 1.0;
   // Keep the migration-phase spans for a Chrome trace export.
   bool capture_trace = false;
+  // Telemetry sampling-period override in milliseconds. 0 = follow the
+  // spec's telemetry section; non-zero forces telemetry on at this period
+  // even when the spec leaves it off (`jiscbench run --telemetry`, the
+  // perf-gate overhead probe).
+  uint64_t telemetry_period_ms = 0;
+};
+
+// The sampled telemetry series of one run (empty/disabled unless the spec
+// or RunOptions turned telemetry on). Machine- and timing-dependent: it is
+// carried in the bundle's noisy "telemetry" section and never compared by
+// `jiscbench compare`.
+struct TelemetryResult {
+  bool enabled = false;
+  uint64_t period_ms = 0;
+  int watchdog_samples = 0;
+  uint64_t samples = 0;
+  uint64_t dropped_snapshots = 0;
+  std::vector<TelemetrySnapshot> series;
+  // Final straggler-verdict count per track (0 = coordinator).
+  std::vector<uint64_t> straggler_flags;
 };
 
 // The outcome of one scenario run, split along the determinism boundary:
@@ -73,6 +93,9 @@ struct RunResult {
   // Migration-phase spans (only when RunOptions::capture_trace).
   std::vector<TraceSpan> trace;
   uint64_t trace_dropped = 0;
+
+  // Sampled telemetry time-series (only when telemetry was on).
+  TelemetryResult telemetry;
 };
 
 // Executes the scenario to completion. Deterministic given identical

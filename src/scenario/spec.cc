@@ -247,6 +247,27 @@ Status ParseEvent(const Json& json, int index, EventSpec* out) {
   return r.Finish();
 }
 
+Status ParseTelemetry(const Json& json, TelemetrySpec* out) {
+  ObjectReader r(json, "telemetry");
+  r.GetBool("enabled", &out->enabled);
+  r.GetU64("period_ms", &out->period_ms);
+  r.GetInt("watchdog_samples", &out->watchdog_samples);
+  r.GetBool("expect_no_stragglers", &out->expect_no_stragglers);
+  int shard = 0;
+  if (r.GetInt("expect_straggler_shard", &shard)) {
+    out->expect_straggler_shard = shard;
+  }
+  return r.Finish();
+}
+
+Status ParseFault(const Json& json, FaultSpec* out) {
+  ObjectReader r(json, "fault");
+  r.GetInt("straggler_shard", &out->straggler_shard);
+  r.GetU64("stall_ms", &out->stall_ms);
+  r.GetU64("stall_every", &out->stall_every);
+  return r.Finish();
+}
+
 Status ParseThresholds(const Json& json, std::map<std::string, double>* out) {
   if (!json.is_object()) {
     return Status::InvalidArgument("thresholds: expected an object");
@@ -322,6 +343,14 @@ StatusOr<Spec> ParseSpec(const Json& json) {
   r.GetString("strategy", &spec.strategy);
   r.GetInt("parallelism", &spec.parallelism);
   r.GetBool("service_times", &spec.service_times);
+  if (const Json* telemetry = r.Take("telemetry")) {
+    Status ts = ParseTelemetry(*telemetry, &spec.telemetry);
+    if (!ts.ok()) return ts;
+  }
+  if (const Json* fault = r.Take("fault")) {
+    Status fs = ParseFault(*fault, &spec.fault);
+    if (!fs.ok()) return fs;
+  }
   r.GetBool("gate", &spec.gate);
   if (const Json* thresholds = r.Take("thresholds")) {
     Status s = ParseThresholds(*thresholds, &spec.thresholds);
@@ -418,6 +447,39 @@ Json SpecToJson(const Spec& spec) {
   j.Set("strategy", spec.strategy);
   if (spec.parallelism != 1) j.Set("parallelism", spec.parallelism);
   if (spec.service_times) j.Set("service_times", true);
+  {
+    const TelemetrySpec def;
+    const TelemetrySpec& t = spec.telemetry;
+    if (t.enabled || t.period_ms != def.period_ms ||
+        t.watchdog_samples != def.watchdog_samples ||
+        t.expect_no_stragglers || t.expect_straggler_shard.has_value()) {
+      Json telemetry = Json::Object();
+      if (t.enabled) telemetry.Set("enabled", true);
+      if (t.period_ms != def.period_ms) telemetry.Set("period_ms", t.period_ms);
+      if (t.watchdog_samples != def.watchdog_samples) {
+        telemetry.Set("watchdog_samples", t.watchdog_samples);
+      }
+      if (t.expect_no_stragglers) telemetry.Set("expect_no_stragglers", true);
+      if (t.expect_straggler_shard.has_value()) {
+        telemetry.Set("expect_straggler_shard", *t.expect_straggler_shard);
+      }
+      j.Set("telemetry", std::move(telemetry));
+    }
+  }
+  {
+    const FaultSpec def;
+    const FaultSpec& f = spec.fault;
+    if (f.straggler_shard != def.straggler_shard || f.stall_ms != def.stall_ms ||
+        f.stall_every != def.stall_every) {
+      Json fault = Json::Object();
+      fault.Set("straggler_shard", f.straggler_shard);
+      if (f.stall_ms != def.stall_ms) fault.Set("stall_ms", f.stall_ms);
+      if (f.stall_every != def.stall_every) {
+        fault.Set("stall_every", f.stall_every);
+      }
+      j.Set("fault", std::move(fault));
+    }
+  }
   if (!spec.gate) j.Set("gate", false);
   if (!spec.thresholds.empty()) {
     Json thresholds = Json::Object();
@@ -492,6 +554,37 @@ Status ValidateSpec(const Spec& spec) {
         return invalid("checkpoint_restore requires parallelism 1");
       }
     }
+  }
+  const TelemetrySpec& tel = spec.telemetry;
+  if (tel.period_ms == 0) return invalid("telemetry.period_ms must be > 0");
+  if (tel.watchdog_samples < 2) {
+    return invalid("telemetry.watchdog_samples must be >= 2");
+  }
+  if ((tel.expect_no_stragglers || tel.expect_straggler_shard.has_value()) &&
+      !tel.enabled) {
+    return invalid("telemetry expectations require telemetry.enabled");
+  }
+  if (tel.expect_no_stragglers && tel.expect_straggler_shard.has_value()) {
+    return invalid("telemetry: expect_no_stragglers and "
+                   "expect_straggler_shard are mutually exclusive");
+  }
+  if (tel.expect_straggler_shard.has_value() &&
+      (*tel.expect_straggler_shard < 0 ||
+       *tel.expect_straggler_shard >= spec.parallelism)) {
+    return invalid("telemetry.expect_straggler_shard out of range");
+  }
+  const FaultSpec& fault = spec.fault;
+  if (fault.straggler_shard >= 0) {
+    if (spec.parallelism <= 1) {
+      return invalid("fault.straggler_shard requires parallelism > 1");
+    }
+    if (fault.straggler_shard >= spec.parallelism) {
+      return invalid("fault.straggler_shard out of range");
+    }
+    if (fault.stall_ms == 0) return invalid("fault.stall_ms must be > 0");
+    if (fault.stall_every == 0) return invalid("fault.stall_every must be > 0");
+  } else if (fault.stall_ms != 0) {
+    return invalid("fault.stall_ms requires fault.straggler_shard");
   }
   return Status::Ok();
 }

@@ -73,6 +73,32 @@ struct EventSpec {
   TransitionKind transition = TransitionKind::kBestCase;
 };
 
+// Live telemetry sampling for the measured stage (obs/telemetry.h). Off by
+// default; when enabled the runner allocates the telemetry registry, runs a
+// TelemetrySampler alongside the run, and attaches the sampled series to
+// the bundle's noisy "telemetry" section (never to the deterministic
+// sections — baselines are unaffected).
+struct TelemetrySpec {
+  bool enabled = false;
+  uint64_t period_ms = 10;      // sampling period
+  int watchdog_samples = 5;     // flat samples before a straggler verdict
+  // Post-run assertions on the stall watchdog, for locking in watchdog
+  // behavior from a scenario: symmetric specs assert no shard was flagged;
+  // fault-injection specs assert exactly the injected shard was.
+  bool expect_no_stragglers = false;
+  std::optional<int> expect_straggler_shard;
+};
+
+// Wall-clock fault injection (ParallelExecutor::Options straggler fields):
+// the chosen shard's worker sleeps `stall_ms` after every `stall_every`
+// processed events. Outputs and deterministic counters are untouched, so
+// injected runs remain baseline-comparable.
+struct FaultSpec {
+  int straggler_shard = -1;  // -1 = off
+  uint64_t stall_ms = 0;
+  uint64_t stall_every = 64;
+};
+
 struct Spec {
   std::string name;
   std::string description;
@@ -101,6 +127,12 @@ struct Spec {
   // Record per-operator probe/insert service-time histograms (extra clock
   // reads on the hot path; off by default).
   bool service_times = false;
+
+  // Live telemetry sampling and watchdog expectations ("telemetry" key).
+  TelemetrySpec telemetry;
+
+  // Straggler fault injection ("fault" key); requires parallelism > 1.
+  FaultSpec fault;
 
   // Include in the CI perf-gate pack (the soak spec opts out).
   bool gate = true;

@@ -202,6 +202,18 @@ bool OperatorState::ContainsExactLive(const Tuple& tuple) const {
   return false;
 }
 
+uint64_t OperatorState::ApproxBytes() const {
+  // Mirrors exec/validate.cc StateBytes: per live entry the combination
+  // record plus its insert/remove stamps plus `arity` base-tuple parts, and
+  // per live key the estimated hash-bucket overhead. Exact for this state
+  // layout because every combination of a subtree has the same width.
+  const uint64_t arity = static_cast<uint64_t>(id_.size());
+  const uint64_t per_entry =
+      sizeof(Tuple) + 2 * sizeof(Stamp) + arity * sizeof(BaseTuple);
+  return static_cast<uint64_t>(live_size_) * per_entry +
+         static_cast<uint64_t>(live_keys_) * 48;
+}
+
 std::vector<JoinKey> OperatorState::LiveKeys() const {
   std::vector<JoinKey> keys;
   keys.reserve(live_keys_);

@@ -120,6 +120,13 @@ class OperatorState {
 
   // --- statistics ---
   size_t live_size() const { return live_size_; }
+  // O(1) resident-bytes estimate from the incrementally-tracked counters:
+  // every live combination of this state is exactly id().size() parts wide,
+  // so entry + parts storage follow from live_size() alone, plus the same
+  // per-key bucket overhead exec/validate.cc's exact walk charges. Cheap
+  // enough for the telemetry gauge refresh on the hot path's maintain
+  // cadence, where the ForEachLive walk is not.
+  uint64_t ApproxBytes() const;
   // Number of distinct keys with at least one live entry (the paper's
   // "number of distinct values of the join attribute inside the state",
   // used to initialize completion counters).

@@ -71,7 +71,8 @@ StrategyFactory EngineStrategyFactory(ProcessorKind kind) {
 
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows, ThetaSpec theta,
-                             int parallelism, Observability* obs) {
+                             int parallelism, Observability* obs,
+                             ParallelExecutor::Options parallel_options) {
   BuiltProcessor built;
   built.sink = std::make_unique<CountingSink>();
   JISC_CHECK(parallelism <= 1 || IsEngineKind(kind))
@@ -88,7 +89,8 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
       eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
       built.processor =
           MakeEngineProcessor(plan, windows, built.sink.get(),
-                              EngineStrategyFactory(kind), eopts);
+                              EngineStrategyFactory(kind), eopts,
+                              parallel_options);
       break;
     case ProcessorKind::kParallelTrack: {
       ParallelTrackProcessor::Options popts;

@@ -59,11 +59,15 @@ struct BuiltProcessor {
 // `obs` (nullptr = off) attaches an observability bundle to the kinds that
 // support it — the Engine-based kinds plus Parallel/Hybrid Track; the eddy
 // family ignores it (no migration phases to trace).
-BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
-                             const WindowSpec& windows,
-                             ThetaSpec theta = ThetaSpec(),
-                             int parallelism = 1,
-                             Observability* obs = nullptr);
+// `parallel_options` seeds the ParallelExecutor configuration when
+// parallelism > 1 (queue capacity, batch size, straggler fault injection);
+// num_shards and obs are overwritten from `parallelism` / `obs`. Ignored at
+// parallelism <= 1.
+BuiltProcessor MakeProcessor(
+    ProcessorKind kind, const LogicalPlan& plan, const WindowSpec& windows,
+    ThetaSpec theta = ThetaSpec(), int parallelism = 1,
+    Observability* obs = nullptr,
+    ParallelExecutor::Options parallel_options = ParallelExecutor::Options());
 
 }  // namespace jisc
 

@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "core/jisc_runtime.h"
 #include "obs/observability.h"
+#include "obs/telemetry.h"
 #include "plan/transitions.h"
 #include "reference/naive_reference.h"
 #include "tests/test_util.h"
@@ -108,6 +109,38 @@ TEST_P(DeterminismTest, TracingOnOffIsByteIdentical) {
       EXPECT_GT(obs.probe_ns.count(), 0u);
       EXPECT_FALSE(obs.trace.Snapshot().empty());
       break;
+    default:
+      break;
+  }
+}
+
+// Same guarantee for the live telemetry plane: hot-path gauges (input,
+// progress, state memory) change nothing observable, and the registry
+// actually saw the run on the processors that wire it through.
+TEST_P(DeterminismTest, TelemetryGaugesOnOffIsByteIdentical) {
+  RunSignature off = RunOnce(GetParam());
+  Observability::Options oopts;
+  oopts.telemetry = true;
+  Observability obs(oopts);
+  RunSignature on = RunOnce(GetParam(), &obs);
+  EXPECT_EQ(on.output_hash, off.output_hash);
+  EXPECT_EQ(on.work, off.work);
+  EXPECT_EQ(on.outputs, off.outputs);
+  // Gauge coverage holds for the Engine-backed processors; ParallelTrack
+  // and HybridTrack run their own dual-track pipelines outside the Engine
+  // (they record traces/histograms but no engine gauges), and the eddy
+  // family ignores obs entirely.
+  switch (GetParam()) {
+    case ProcessorKind::kJisc:
+    case ProcessorKind::kJiscFirstReceipt:
+    case ProcessorKind::kMovingState: {
+      ASSERT_NE(obs.telemetry, nullptr);
+      EXPECT_GT(obs.telemetry->input_events(), 0u);
+      TelemetryTrackSample s = obs.telemetry->SampleTrack(0);
+      EXPECT_GT(s.progress_events, 0u);
+      EXPECT_GT(s.state_memory_bytes, 0u);
+      break;
+    }
     default:
       break;
   }

@@ -238,6 +238,161 @@ TEST(RunnerTest, InvalidOverrideIsRejected) {
   EXPECT_FALSE(RunScenario(s, opts).ok());
 }
 
+TEST(SpecTest, TelemetryAndFaultRoundTrip) {
+  Spec s = TestSpec();
+  s.streams = 4;
+  s.parallelism = 4;
+  s.telemetry.enabled = true;
+  s.telemetry.period_ms = 5;
+  s.telemetry.watchdog_samples = 4;
+  s.telemetry.expect_straggler_shard = 2;
+  s.fault.straggler_shard = 2;
+  s.fault.stall_ms = 30;
+  s.fault.stall_every = 2000;
+  Json j = SpecToJson(s);
+  auto parsed = ParseSpec(j);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SpecToJson(parsed.value()).Dump(), j.Dump());
+  EXPECT_TRUE(parsed.value().telemetry.enabled);
+  EXPECT_EQ(parsed.value().telemetry.period_ms, 5u);
+  EXPECT_EQ(parsed.value().telemetry.watchdog_samples, 4);
+  ASSERT_TRUE(parsed.value().telemetry.expect_straggler_shard.has_value());
+  EXPECT_EQ(*parsed.value().telemetry.expect_straggler_shard, 2);
+  EXPECT_EQ(parsed.value().fault.straggler_shard, 2);
+  EXPECT_EQ(parsed.value().fault.stall_ms, 30u);
+  EXPECT_EQ(parsed.value().fault.stall_every, 2000u);
+  // Defaulted sections stay out of the document entirely.
+  EXPECT_EQ(SpecToJson(TestSpec()).Dump().find("telemetry"),
+            std::string::npos);
+  EXPECT_EQ(SpecToJson(TestSpec()).Dump().find("fault"), std::string::npos);
+}
+
+TEST(SpecTest, ValidatesTelemetryAndFaultSemantics) {
+  auto valid = [] {
+    Spec s = TestSpec();
+    s.streams = 4;
+    s.parallelism = 4;
+    return s;
+  };
+
+  Spec s = valid();
+  s.telemetry.enabled = true;
+  s.telemetry.watchdog_samples = 1;  // needs >= 2 to difference progress
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.telemetry.expect_no_stragglers = true;  // expectation without telemetry
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.telemetry.enabled = true;
+  s.telemetry.expect_no_stragglers = true;
+  s.telemetry.expect_straggler_shard = 1;  // mutually exclusive
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.telemetry.enabled = true;
+  s.telemetry.expect_straggler_shard = 4;  // out of [0, parallelism)
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.parallelism = 1;
+  s.fault.straggler_shard = 0;  // needs a sharded run
+  s.fault.stall_ms = 10;
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.fault.straggler_shard = 2;  // delay without a duration
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.fault.stall_ms = 10;  // duration without a target shard
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = valid();
+  s.fault.straggler_shard = 2;
+  s.fault.stall_ms = 10;
+  EXPECT_TRUE(ValidateSpec(s).ok());
+}
+
+TEST(RunnerTest, TelemetryDoesNotPerturbTheDeterministicSection) {
+  Spec s = TestSpec();
+  s.streams = 4;
+  s.parallelism = 2;
+  auto off = RunScenario(s);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  RunOptions with_telemetry;
+  with_telemetry.telemetry_period_ms = 1;
+  auto on = RunScenario(s, with_telemetry);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  // The sampled series is wall-clock noise by construction; the
+  // deterministic sections must stay byte-identical with sampling live.
+  EXPECT_EQ(SerializeDeterministic(off.value()),
+            SerializeDeterministic(on.value()));
+  EXPECT_FALSE(off.value().telemetry.enabled);
+  EXPECT_TRUE(on.value().telemetry.enabled);
+  EXPECT_GE(on.value().telemetry.samples, 1u);
+  EXPECT_GE(on.value().telemetry.series.size(), 1u);
+
+  // The bundle carries the telemetry summary and it survives a parse.
+  Json j = RunResultToJson(on.value());
+  auto back = RunResultFromJson(j);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value().telemetry.enabled);
+  EXPECT_EQ(back.value().telemetry.samples, on.value().telemetry.samples);
+  EXPECT_EQ(RunResultToJson(off.value()).Dump().find("telemetry"),
+            std::string::npos);
+}
+
+TEST(RunnerTest, WatchdogFlagsExactlyTheDelayedShard) {
+  // Fault injection delays shard 2 (30ms stalls every 2000 events) against
+  // siblings kept busy by a long random-key phase; the spec's expectation
+  // makes RunScenario itself fail unless the watchdog flags shard 2 and
+  // only shard 2.
+  Spec s;
+  s.name = "straggler-inject";
+  s.seed = 42;
+  s.streams = 4;
+  s.window = 10000;
+  s.arrival.key_pattern = KeyPattern::kRandom;
+  PhaseSpec load;
+  load.tuples = 2000000;
+  s.phases = {load};
+  s.strategy = "jisc";
+  s.parallelism = 4;
+  s.telemetry.enabled = true;
+  s.telemetry.period_ms = 5;
+  s.telemetry.watchdog_samples = 4;
+  s.telemetry.expect_straggler_shard = 2;
+  s.fault.straggler_shard = 2;
+  s.fault.stall_ms = 30;
+  s.fault.stall_every = 2000;
+  RunOptions opts;
+  opts.scale = 0.02;
+  auto r = RunScenario(s, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<uint64_t>& flags = r.value().telemetry.straggler_flags;
+  ASSERT_GE(flags.size(), 4u);
+  EXPECT_GT(flags[3], 0u);  // shard 2 records on track 3
+  for (size_t t = 0; t < flags.size(); ++t) {
+    if (t != 3) {
+      EXPECT_EQ(flags[t], 0u) << "spurious flag on track " << t;
+    }
+  }
+}
+
+TEST(RunnerTest, HealthySymmetricRunRaisesNoStragglers) {
+  Spec s = TestSpec();
+  s.streams = 4;
+  s.parallelism = 2;
+  s.telemetry.enabled = true;
+  s.telemetry.period_ms = 2;
+  s.telemetry.expect_no_stragglers = true;
+  auto r = RunScenario(s);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (uint64_t f : r.value().telemetry.straggler_flags) EXPECT_EQ(f, 0u);
+}
+
 TEST(RunnerTest, CheckpointRestoreContinuesTheRun) {
   Spec s = TestSpec();
   s.schedule.clear();

@@ -361,6 +361,18 @@ TEST(TraceExportTest, MetricsJsonCarriesCountersAndQuantiles) {
   EXPECT_NE(json.find("\"count\": 1000"), std::string::npos);
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // The trace section is always present so dashboards can alert on span
+  // loss without probing for the key.
+  EXPECT_NE(json.find("\"trace\": {\"dropped\": 0}"), std::string::npos);
+}
+
+TEST(TraceExportTest, MetricsJsonReportsRingDrops) {
+  TraceRecorder rec(2);
+  for (uint64_t i = 0; i < 7; ++i) rec.Record(MakeSpan("s", i, i));
+  std::ostringstream os;
+  WriteMetricsJson(os, {{"arrivals", 1}}, {}, rec.dropped());
+  EXPECT_NE(os.str().find("\"trace\": {\"dropped\": 5}"), std::string::npos)
+      << os.str();
 }
 
 }  // namespace

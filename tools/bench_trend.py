@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Fold nightly BENCH_*.json row files into a trend table.
+
+Each positional argument is one bench run: either a directory holding the
+`BENCH_<bench>.json` arrays the figure benches emit under
+JISC_BENCH_JSON_DIR (the nightly `bench-rows` artifact), or a single such
+file. Pass runs oldest-first; each becomes one column, labeled by its
+directory (or file) basename, so downloading N nightly artifacts side by
+side and pointing this tool at them yields the per-figure result
+trajectory:
+
+  python3 tools/bench_trend.py nightly-0801 nightly-0802 nightly-0807
+
+Rows are grouped by (bench, series, arg). The tracked metric defaults to
+`seconds` (lower is better); `--metric <counter>` switches to any row
+counter, e.g. `--metric throughput_tps` (higher is better — the delta
+column flips sign conventions accordingly, judged by metric name). The
+final columns show a sparkline of the trend and the last-vs-first delta;
+`--fail-above PCT` exits 3 when any row's `seconds` regressed more than
+PCT percent, so the table can double as a soft nightly gate.
+
+Output is a Markdown table (paste-ready for GITHUB_STEP_SUMMARY). Stdlib
+only; exit 0 on success, 2 on bad usage or unreadable input, 3 when
+--fail-above trips.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+# Metrics where larger values are improvements; everything else (seconds,
+# work_per_tuple, latency) treats growth as a regression.
+HIGHER_IS_BETTER = ("throughput", "tps", "tuples", "outputs", "samples")
+
+
+def sparkline(values):
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK[0] * len(values)
+    return "".join(
+        SPARK[int((v - lo) * (len(SPARK) - 1) / (hi - lo) + 0.5)]
+        for v in values)
+
+
+def load_run(path):
+    """Return {(bench, series, arg): row} for one run dir or file."""
+    files = []
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f) for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+        if not files:
+            raise ValueError("no BENCH_*.json files in directory")
+    else:
+        files = [path]
+    rows = {}
+    for file_path in files:
+        with open(file_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if not isinstance(doc, list):
+            raise ValueError(f"{file_path}: expected a JSON array of rows")
+        for row in doc:
+            key = (row.get("bench", "?"), row.get("series", "?"),
+                   row.get("arg", 0))
+            rows[key] = row  # Last row wins if a bench re-emits a key.
+    return rows
+
+
+def metric_of(row, metric):
+    if metric == "seconds":
+        return row.get("seconds")
+    return row.get("counters", {}).get(metric)
+
+
+def format_value(value, metric):
+    if value is None:
+        return "—"
+    if metric == "seconds":
+        return f"{value:.3f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.2f}" if value != int(value) else f"{int(value)}"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("runs", nargs="+",
+                        help="bench-row dirs or files, oldest first")
+    parser.add_argument("--metric", default="seconds",
+                        help="'seconds' or a row counter name "
+                             "(default: seconds)")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 3 if any row's seconds regressed more "
+                             "than PCT%% last-vs-first")
+    args = parser.parse_args(argv[1:])
+
+    runs = []
+    for path in args.runs:
+        try:
+            runs.append((os.path.basename(os.path.normpath(path)),
+                         load_run(path)))
+        except (OSError, ValueError) as err:
+            print(f"error: {path}: {err}", file=sys.stderr)
+            return 2
+
+    keys = sorted({k for _, rows in runs for k in rows})
+    if not keys:
+        print("error: no bench rows found", file=sys.stderr)
+        return 2
+
+    higher_better = any(tag in args.metric for tag in HIGHER_IS_BETTER)
+    labels = [label for label, _ in runs]
+    header = (["bench", "series", "arg"] + labels
+              + ["trend", "Δ last vs first"])
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    regressed = []
+    for key in keys:
+        bench, series, arg = key
+        values = [metric_of(rows.get(key, {}), args.metric)
+                  for _, rows in runs]
+        present = [v for v in values if v is not None]
+        cells = [format_value(v, args.metric) for v in values]
+        trend = sparkline(present) if len(present) >= 2 else "—"
+        delta = "—"
+        if len(present) >= 2 and present[0] > 0:
+            pct = (present[-1] - present[0]) / present[0] * 100.0
+            worse = pct < 0 if higher_better else pct > 0
+            delta = f"{pct:+.1f}%" + (" ⚠" if worse and abs(pct) > 2 else "")
+            if args.fail_above is not None and args.metric == "seconds" \
+                    and pct > args.fail_above:
+                regressed.append((key, pct))
+        lines.append("| " + " | ".join(
+            [bench, series, str(arg)] + cells + [trend, delta]) + " |")
+
+    print(f"### Bench trend — {args.metric} across {len(runs)} run(s)")
+    print()
+    print("\n".join(lines))
+    if regressed:
+        print()
+        for (bench, series, arg), pct in regressed:
+            print(f"REGRESSION: {bench}/{series}/arg={arg} seconds "
+                  f"{pct:+.1f}% > {args.fail_above:.1f}% allowed")
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,9 +1,15 @@
 // jiscbench: the scenario-harness CLI.
 //
 //   jiscbench run <spec.json> [--strategy S] [--parallelism N] [--seed N]
-//                 [--scale F] [--out FILE] [--trace FILE]
+//                 [--scale F] [--out FILE] [--trace FILE] [--telemetry MS]
+//                 [--telemetry-jsonl FILE] [--prom FILE]
 //       Execute a scenario and write its evidence bundle (run.json; with
 //       --trace also a Chrome trace). Default output: <name>.run.json.
+//       --telemetry MS forces telemetry sampling on at that period even if
+//       the spec leaves it off; --telemetry-jsonl dumps the sampled series
+//       as JSONL (tools/telemetry_plot.py input) and --prom writes the
+//       final counters/gauges in Prometheus text format (textfile
+//       collector).
 //
 //   jiscbench capture <spec.json>... [--scale F] [--out-dir DIR]
 //       Run each spec and write the bundle as DIR/<name>.json — the
@@ -22,6 +28,7 @@
 // Exit codes (stable; CI depends on them): 0 success / comparison passed,
 // 2 usage error, 3 comparison found a regression, 4 spec or bundle error.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_export.h"
 #include "scenario/baseline.h"
 #include "scenario/bundle.h"
 #include "scenario/runner.h"
@@ -46,6 +54,7 @@ int Usage() {
       "usage:\n"
       "  jiscbench run <spec.json> [--strategy S] [--parallelism N]\n"
       "            [--seed N] [--scale F] [--out FILE] [--trace FILE]\n"
+      "            [--telemetry MS] [--telemetry-jsonl FILE] [--prom FILE]\n"
       "  jiscbench capture <spec.json>... [--scale F] [--out-dir DIR]\n"
       "  jiscbench compare <baseline.json> <run.json> [--out diff.json]\n"
       "  jiscbench validate <spec.json>...\n"
@@ -67,6 +76,9 @@ struct ParsedArgs {
   std::string out;
   std::string out_dir;
   std::string trace;
+  uint64_t telemetry_ms = 0;
+  std::string telemetry_jsonl;
+  std::string prom;
   bool ok = true;
 };
 
@@ -96,6 +108,18 @@ ParsedArgs ParseArgs(int argc, char** argv) {
       if (const char* v = next()) args.out_dir = v;
     } else if (arg == "--trace") {
       if (const char* v = next()) args.trace = v;
+    } else if (arg == "--telemetry") {
+      if (const char* v = next()) {
+        args.telemetry_ms = std::strtoull(v, nullptr, 10);
+        if (args.telemetry_ms == 0) {
+          std::cerr << "jiscbench: --telemetry needs a period > 0 ms\n";
+          args.ok = false;
+        }
+      }
+    } else if (arg == "--telemetry-jsonl") {
+      if (const char* v = next()) args.telemetry_jsonl = v;
+    } else if (arg == "--prom") {
+      if (const char* v = next()) args.prom = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "jiscbench: unknown flag " << arg << "\n";
       args.ok = false;
@@ -113,7 +137,50 @@ RunOptions ToRunOptions(const ParsedArgs& args, bool capture_trace) {
   opts.seed = args.seed;
   opts.scale = args.scale;
   opts.capture_trace = capture_trace;
+  opts.telemetry_period_ms = args.telemetry_ms;
   return opts;
+}
+
+// Post-run telemetry exports (--telemetry-jsonl / --prom). Both fail
+// loudly on a short write — an artifact that silently truncates is worse
+// than no artifact.
+int ExportTelemetry(const ParsedArgs& args, const RunResult& r) {
+  if (!args.telemetry_jsonl.empty()) {
+    if (!r.telemetry.enabled) {
+      std::cerr << "jiscbench: --telemetry-jsonl needs telemetry on "
+                   "(spec telemetry.enabled or --telemetry MS)\n";
+      return kExitUsage;
+    }
+    std::ofstream f(args.telemetry_jsonl);
+    if (!f) {
+      std::cerr << "jiscbench: cannot write " << args.telemetry_jsonl << "\n";
+      return kExitSpecError;
+    }
+    WriteTelemetryJsonl(f, r.telemetry.series, r.telemetry.dropped_snapshots);
+    if (!f.good()) {
+      std::cerr << "jiscbench: short write to " << args.telemetry_jsonl
+                << "\n";
+      return kExitSpecError;
+    }
+    std::cout << "wrote " << args.telemetry_jsonl << " ("
+              << r.telemetry.series.size() << " snapshots)\n";
+  }
+  if (!args.prom.empty()) {
+    std::ofstream f(args.prom);
+    if (!f) {
+      std::cerr << "jiscbench: cannot write " << args.prom << "\n";
+      return kExitSpecError;
+    }
+    const TelemetrySnapshot* latest =
+        r.telemetry.series.empty() ? nullptr : &r.telemetry.series.back();
+    WritePrometheusText(f, r.counters, r.histograms, latest);
+    if (!f.good()) {
+      std::cerr << "jiscbench: short write to " << args.prom << "\n";
+      return kExitSpecError;
+    }
+    std::cout << "wrote " << args.prom << "\n";
+  }
+  return 0;
 }
 
 void PrintRunSummary(const RunResult& r) {
@@ -136,6 +203,16 @@ void PrintRunSummary(const RunResult& r) {
     std::cout << "  " << name << ": count=" << s.count << " p50=" << s.p50
               << " p99=" << s.p99 << " max=" << s.max << "\n";
   }
+  if (r.telemetry.enabled) {
+    uint64_t stragglers = 0;
+    for (uint64_t f : r.telemetry.straggler_flags) stragglers += f;
+    std::cout << "  telemetry: " << r.telemetry.samples << " samples @ "
+              << r.telemetry.period_ms << "ms";
+    if (r.telemetry.dropped_snapshots != 0) {
+      std::cout << " (" << r.telemetry.dropped_snapshots << " dropped)";
+    }
+    std::cout << ", straggler verdicts=" << stragglers << "\n";
+  }
 }
 
 int CmdRun(const ParsedArgs& args) {
@@ -153,7 +230,7 @@ int CmdRun(const ParsedArgs& args) {
   std::cout << "wrote " << out;
   if (!args.trace.empty()) std::cout << " and " << args.trace;
   std::cout << "\n";
-  return 0;
+  return ExportTelemetry(args, result.value());
 }
 
 int CmdCapture(const ParsedArgs& args) {

@@ -5,6 +5,13 @@ For each scenarios/*.json with "gate" not set to false:
   1. jiscbench run <spec> --scale <scale> --out <out>/<name>.run.json
   2. jiscbench compare baselines/<name>.json <run> --out <out>/<name>.diff.json
 
+Then a telemetry-overhead probe: the fig09_normal scenario runs again with
+the live telemetry plane off and forced on (--telemetry 10), best-of-3
+each, and the gate fails if sampling costs more than --telemetry-budget
+percent of wall time AND the absolute delta exceeds 0.05s (the AND keeps
+sub-50ms jitter at tiny scales from flaking the gate). Skip the probe
+with --no-telemetry-probe.
+
 Writes a markdown summary (to $GITHUB_STEP_SUMMARY when present, stdout
 otherwise) and exits with the worst exit code seen: 0 pass, 3 regression,
 4 spec/baseline error. Only the Python standard library is used.
@@ -43,6 +50,52 @@ def diff_rows(diff):
     return rows
 
 
+def measured_seconds(run_path):
+    with open(run_path) as f:
+        return float(json.load(f)["wall"]["measured_seconds"])
+
+
+def telemetry_overhead_probe(args, out_dir):
+    """Best-of-3 fig09_normal wall time, telemetry off vs on at 10ms.
+
+    Returns (summary_lines, exit_code). Best-of-N because the probe
+    measures a fixed workload's wall time, where the minimum is the
+    least-noisy estimator.
+    """
+    spec = pathlib.Path(args.scenarios) / "fig09_normal.json"
+    best = {}
+    for mode, extra in (("off", []), ("on", ["--telemetry", "10"])):
+        times = []
+        for i in range(3):
+            run_path = out_dir / f"telemetry_probe_{mode}_{i}.run.json"
+            run = subprocess.run(
+                [args.jiscbench, "run", str(spec), "--scale", args.scale,
+                 "--out", str(run_path)] + extra,
+                capture_output=True, text=True)
+            if run.returncode != 0:
+                return ([f"## ⚠️ telemetry overhead — probe run failed",
+                         "", f"```\n{run.stderr.strip()}\n```", ""],
+                        EXIT_SPEC_ERROR)
+            times.append(measured_seconds(run_path))
+        best[mode] = min(times)
+
+    delta = best["on"] - best["off"]
+    pct = delta / best["off"] * 100.0 if best["off"] > 0 else 0.0
+    # AND of relative and absolute bounds: at CI scale the whole run is a
+    # few hundred ms, where scheduler jitter alone can exceed 2%.
+    fail = pct > args.telemetry_budget and delta > 0.05
+    icon, status = ("❌", "regression") if fail else ("✅", "pass")
+    lines = [
+        f"## {icon} telemetry overhead — {status}", "",
+        "| metric | baseline | current | delta | allowed | status |",
+        "|---|---|---|---|---|---|",
+        f"| fig09_normal wall (telemetry 10ms, best of 3) "
+        f"| {best['off']:.3f}s | {best['on']:.3f}s | {pct:+.2f}% "
+        f"| {args.telemetry_budget:.0f}% and 0.05s "
+        f"| {'**FAIL**' if fail else 'ok'} |", ""]
+    return lines, (EXIT_REGRESSION if fail else EXIT_PASS)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jiscbench", default="build/tools/jiscbench")
@@ -50,6 +103,9 @@ def main():
     ap.add_argument("--baselines", default="baselines")
     ap.add_argument("--out-dir", default="perf-gate-out")
     ap.add_argument("--scale", default="0.02")
+    ap.add_argument("--telemetry-budget", type=float, default=2.0,
+                    help="max %% wall-time overhead with 10ms sampling")
+    ap.add_argument("--no-telemetry-probe", action="store_true")
     args = ap.parse_args()
 
     out_dir = pathlib.Path(args.out_dir)
@@ -123,6 +179,11 @@ def main():
             else:
                 summary.append(f"{len(rows)} metrics compared, all ok.")
             summary.append("")
+
+    if not args.no_telemetry_probe:
+        probe_lines, probe_exit = telemetry_overhead_probe(args, out_dir)
+        summary.extend(probe_lines)
+        worst = max(worst, probe_exit)
 
     verdict = {EXIT_PASS: "PASS", EXIT_REGRESSION: "REGRESSION"}.get(
         worst, "SPEC ERROR")

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Terminal sparkline plots for JISC telemetry time series.
+
+Takes `<name>.telemetry.jsonl` files (as written by WriteTelemetryJsonl /
+`jiscbench run --telemetry-jsonl`) or scenario run bundles (`run.json`
+with a "telemetry" section) and renders the sampled series as Unicode
+sparklines, one row per track per metric:
+
+  progress/s   events processed per sample interval (rate, not total)
+  queue        SPSC feed depth at each sample
+  stalled      producer-side blocked-nanos accrued per interval
+  state        approximate operator-state bytes
+
+Track 0 is the coordinator (input side); shard s is track s+1 — the same
+numbering the trace recorder uses. Tracks the stall watchdog flagged are
+annotated with the sample index of each straggler verdict, so a CI job
+summary shows at a glance *when* a shard went flat while its siblings
+advanced.
+
+Stdlib only; no third-party imports. Exit 0 on success, 2 on bad usage
+or unreadable input. Typical use:
+
+  ./build/tools/jiscbench run scenarios/fig09_normal.json \\
+      --telemetry 10 --telemetry-jsonl /tmp/fig09.telemetry.jsonl
+  python3 tools/telemetry_plot.py /tmp/fig09.telemetry.jsonl
+"""
+
+import json
+import sys
+
+# Eight-level block ramp; index 0 is also used for "no data yet".
+SPARK = "▁▂▃▄▅▆▇█"
+
+# Long runs sample thousands of snapshots; fold them into at most this
+# many columns (bucket-max, so brief spikes stay visible) to keep rows
+# terminal- and job-summary-sized.
+MAX_WIDTH = 100
+
+
+def format_count(n):
+    """Humanize a count/bytes value for the row's max-label."""
+    n = float(n)
+    for unit, div in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if n >= div:
+            return f"{n / div:.1f}{unit}"
+    return f"{int(n)}"
+
+
+def resample(values, width=MAX_WIDTH):
+    """Fold a series into at most `width` buckets, keeping each bucket's
+    max so short spikes (a stall, a burst) survive the compression."""
+    if len(values) <= width:
+        return values
+    out = []
+    for b in range(width):
+        lo = b * len(values) // width
+        hi = max(lo + 1, (b + 1) * len(values) // width)
+        out.append(max(values[lo:hi]))
+    return out
+
+
+def sparkline(values):
+    """Render a list of non-negative numbers as a block-character strip."""
+    values = resample(values)
+    if not values:
+        return ""
+    hi = max(values)
+    if hi <= 0:
+        return SPARK[0] * len(values)
+    out = []
+    for v in values:
+        idx = int(v * (len(SPARK) - 1) / hi + 0.5)
+        out.append(SPARK[max(0, min(idx, len(SPARK) - 1))])
+    return "".join(out)
+
+
+def deltas(values):
+    """Per-interval increments of a monotone counter series."""
+    return [max(0, b - a) for a, b in zip(values, values[1:])]
+
+
+def load_series(path):
+    """Return (snapshots, dropped) from a JSONL export or a run bundle."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and "\n{" not in stripped.rstrip():
+        # Possibly a whole-file JSON document (run bundle).
+        doc = json.loads(stripped)
+        telemetry = doc.get("telemetry")
+        if not isinstance(telemetry, dict):
+            raise ValueError("no 'telemetry' section in bundle")
+        return (telemetry.get("series", []),
+                int(telemetry.get("dropped_snapshots", 0)))
+    snapshots = []
+    dropped = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        if "dropped_snapshots" in doc and "tracks" not in doc:
+            dropped = int(doc["dropped_snapshots"])
+            continue
+        if "tracks" not in doc:
+            raise ValueError(f"line {line_no}: not a telemetry snapshot")
+        snapshots.append(doc)
+    return snapshots, dropped
+
+
+def track_series(snapshots, track, key):
+    """Extract one field of one track across every snapshot."""
+    out = []
+    for snap in snapshots:
+        tracks = snap.get("tracks", [])
+        out.append(int(tracks[track].get(key, 0)) if track < len(tracks)
+                   else 0)
+    return out
+
+
+def straggler_verdicts(snapshots, track):
+    """Sample indices where the watchdog's flag count rose for a track."""
+    flags = track_series(snapshots, track, "straggler")
+    return [i + 1 for i, d in enumerate(deltas(flags)) if d > 0]
+
+
+def plot_file(path, snapshots, dropped):
+    print(f"== {path} ==")
+    if len(snapshots) < 2:
+        print(f"  ({len(snapshots)} snapshot(s) — nothing to plot; "
+              "lower the sampling period or run longer)")
+        return
+    span_ns = snapshots[-1].get("t_ns", 0) - snapshots[0].get("t_ns", 0)
+    n_tracks = max(len(s.get("tracks", [])) for s in snapshots)
+    print(f"  {len(snapshots)} snapshots over "
+          f"{span_ns / 1e6:.1f}ms, {n_tracks} track(s)"
+          + (f", {dropped} oldest snapshots dropped" if dropped else ""))
+
+    input_rate = deltas([int(s.get("input_events", 0)) for s in snapshots])
+    print(f"  input/s      {sparkline(input_rate)}  "
+          f"max={format_count(max(input_rate, default=0))}/sample")
+
+    metrics = [
+        ("progress/s", lambda t: deltas(track_series(snapshots, t,
+                                                     "progress"))),
+        ("queue", lambda t: track_series(snapshots, t, "queue")[1:]),
+        ("stalled", lambda t: deltas(track_series(snapshots, t,
+                                                  "stalled_ns"))),
+        ("state", lambda t: track_series(snapshots, t, "state_bytes")[1:]),
+    ]
+    for track in range(n_tracks):
+        who = "coordinator" if track == 0 else f"shard {track - 1}"
+        verdicts = straggler_verdicts(snapshots, track)
+        note = ""
+        if verdicts:
+            at = ", ".join(str(i) for i in verdicts[:5])
+            more = f" (+{len(verdicts) - 5} more)" if len(verdicts) > 5 \
+                else ""
+            note = f"  ⚠ STRAGGLER flagged at sample {at}{more}"
+        print(f"  track {track} ({who}){note}")
+        for name, extract in metrics:
+            series = extract(track)
+            if not any(series):
+                continue  # all-zero rows are noise (e.g. shard state)
+            unit = "/sample" if name.endswith("/s") or name == "stalled" \
+                else ""
+            print(f"    {name:<11}{sparkline(series)}  "
+                  f"max={format_count(max(series))}{unit}")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            snapshots, dropped = load_series(path)
+        except (OSError, ValueError) as err:
+            print(f"error: {path}: {err}", file=sys.stderr)
+            status = 2
+            continue
+        plot_file(path, snapshots, dropped)
+        print()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

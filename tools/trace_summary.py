@@ -130,6 +130,10 @@ def summarize_metrics(path, doc):
     if nonzero:
         print(render_table(["counter", "value"],
                            [[k, v] for k, v in nonzero]))
+    dropped = doc.get("trace", {}).get("dropped", 0)
+    if dropped:
+        print(f"  NOTE: trace ring dropped {dropped} oldest spans "
+              "(raise trace_capacity to keep them)")
 
 
 def main(argv):
