@@ -41,7 +41,7 @@ StatusOr<std::string> CheckpointEngine(Engine& engine) {
     const OperatorState& st = exec.op(id)->state();
     w.PutU64(st.id().bits());
     w.PutU64(st.live_size());
-    st.ForEachLiveEntry([&](const Tuple& t, Stamp insert_stamp) {
+    st.ForEachLiveEntryCanonical([&](const Tuple& t, Stamp insert_stamp) {
       w.PutU64(insert_stamp);
       w.PutU64(t.parts().size());
       for (const BaseTuple& p : t.parts()) {

@@ -169,14 +169,32 @@ void OperatorState::ForEachLive(
   }
 }
 
-void OperatorState::ForEachLiveEntry(
+void OperatorState::ForEachLiveEntryCanonical(
     const std::function<void(const Tuple&, Stamp)>& fn) const {
+  std::vector<std::pair<const Entry*, Stamp>> live;
+  live.reserve(live_size_);
+  // jisc-verify: allow(determinism) — gathered entries are sorted below
   for (const auto& [k, b] : buckets_) {
     (void)k;
     for (const Entry& e : b.entries) {
-      if (e.live()) fn(e.tuple, e.insert_stamp);
+      if (e.live()) live.emplace_back(&e, e.insert_stamp);
     }
   }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              const auto& ap = a.first->tuple.parts();
+              const auto& bp = b.first->tuple.parts();
+              if (ap.size() != bp.size()) return ap.size() < bp.size();
+              for (size_t i = 0; i < ap.size(); ++i) {
+                if (ap[i].seq != bp[i].seq) return ap[i].seq < bp[i].seq;
+                if (ap[i].stream != bp[i].stream) {
+                  return ap[i].stream < bp[i].stream;
+                }
+              }
+              return false;
+            });
+  for (const auto& [e, stamp] : live) fn(e->tuple, stamp);
 }
 
 bool OperatorState::ContainsKeyLive(JoinKey key) const {

@@ -105,8 +105,11 @@ class OperatorState {
   // (set-difference membership, Moving State eager computation, snapshots).
   void ForEachLive(const std::function<void(const Tuple&)>& fn) const;
 
-  // Live entries with their insertion stamps (checkpointing).
-  void ForEachLiveEntry(
+  // Live entries with their insertion stamps, visited in a canonical
+  // order — sorted by insertion stamp, ties broken by the part sequence —
+  // so serializations built from this walk (checkpointing) are
+  // byte-identical regardless of the hash table's iteration order.
+  void ForEachLiveEntryCanonical(
       const std::function<void(const Tuple&, Stamp)>& fn) const;
 
   // Any live entry with this key? (set-difference membership test).
