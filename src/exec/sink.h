@@ -183,10 +183,14 @@ class OutputDelaySink : public Sink {
   }
 
   // Marks the admission of the next external event.
-  void BeginEvent() { admit_ns_ = obs_->trace.NowNs(); }
+  void BeginEvent() {
+    if (obs_ != nullptr) admit_ns_ = obs_->trace.NowNs();
+  }
 
   void OnOutput(const Tuple& tuple, Stamp stamp) override {
-    obs_->output_delay_ns.Record(obs_->trace.NowNs() - admit_ns_);
+    if (obs_ != nullptr) {
+      obs_->output_delay_ns.Record(obs_->trace.NowNs() - admit_ns_);
+    }
     downstream_->OnOutput(tuple, stamp);
   }
   void OnRetract(const Tuple& tuple, Stamp stamp) override {
