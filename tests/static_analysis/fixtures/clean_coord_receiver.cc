@@ -1,0 +1,30 @@
+// Clean near-miss [coordinator-only]: the worker calls a marked method
+// through another object's receiver (that object's own contract mediates
+// the call), and a coordinator-side function calls the marked method
+// outside any worker region. Neither is a finding.
+#include "fixture_support.h"
+
+namespace fix {
+
+class CleanAckQueue {
+ public:
+  JISC_COORDINATOR_ONLY void Push(int v) { (void)v; }
+};
+
+class CleanCoordExec {
+ public:
+  JISC_COORDINATOR_ONLY void Barrier() {}
+
+  void WorkerLoop(int shard) {
+    acks_.Push(shard);  // receiver-qualified: the queue's contract.
+  }
+
+  void Drive() {
+    Barrier();  // coordinator thread: fine.
+  }
+
+ private:
+  CleanAckQueue acks_;
+};
+
+}  // namespace fix

@@ -1,0 +1,39 @@
+// Clean near-miss [determinism]: the serialization path iterates a sorted
+// copy of the unordered state (canonical order), and one residual
+// unordered iteration carries a reasoned waiver.
+#include "fixture_support.h"
+
+namespace fix {
+
+class CleanDetState {
+ public:
+  void Serialize(ByteWriter& w) const {
+    std::vector<uint64_t> keys;
+    keys.reserve(buckets_.size());
+    // jisc-verify: allow(determinism) — keys are sorted before serializing
+    for (const auto& kv : buckets_) keys.push_back(kv.first);
+    SortKeys(keys);
+    for (uint64_t k : keys) w.PutU64(k);
+  }
+
+ private:
+  static void SortKeys(std::vector<uint64_t>& keys) {
+    for (size_t i = 1; i < keys.size(); ++i) {
+      for (size_t j = i; j > 0 && keys[j - 1] > keys[j]; --j) {
+        uint64_t t = keys[j];
+        keys[j] = keys[j - 1];
+        keys[j - 1] = t;
+      }
+    }
+  }
+
+  std::unordered_map<uint64_t, int> buckets_;
+};
+
+std::string SerializeDeterministic(const CleanDetState& st) {
+  ByteWriter w;
+  st.Serialize(w);
+  return w.Take();
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Clean near-miss [determinism]: a wall-clock read exists, but only in a
+// diagnostics function that no deterministic root can reach — reachability
+// is what makes it a violation, not the clock read itself.
+#include "fixture_support.h"
+
+namespace fix {
+
+uint64_t CleanDiagnosticsNow() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::string SerializeDeterministicClean(uint64_t seq) {
+  ByteWriter w;
+  w.PutU64(seq);
+  return w.Take();
+}
+
+std::string SerializeDeterministic(uint64_t seq) {
+  return SerializeDeterministicClean(seq);
+}
+
+}  // namespace fix

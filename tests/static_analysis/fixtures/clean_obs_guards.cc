@@ -1,0 +1,45 @@
+// Clean near-miss [obs-null-discipline]: every dereference is dominated
+// by a null check, across all of the repo's guard idioms.
+#include "fixture_support.h"
+
+namespace fix {
+
+class CleanObsGuards {
+ public:
+  void BracedIf(uint64_t v) {
+    if (obs_ != nullptr) {
+      obs_->output_delay_ns.Record(v);
+    }
+  }
+
+  void BareIf(uint64_t v) {
+    if (obs_) obs_->output_delay_ns.Record(v);
+  }
+
+  void EarlyReturn(uint64_t v) {
+    if (obs_ == nullptr) return;
+    obs_->output_delay_ns.Record(v);
+    if (obs_->telemetry != nullptr) obs_->telemetry->AddInput(v);
+  }
+
+  uint64_t Ternary() { return obs_ != nullptr ? obs_->trace.NowNs() : 0; }
+
+  void ShortCircuit(uint64_t v) {
+    if (obs_ != nullptr && v > 0) obs_->output_delay_ns.Record(v);
+  }
+
+  void BoolAlias(uint64_t v) {
+    bool timed = obs_ != nullptr && v > 0;
+    if (timed) obs_->output_delay_ns.Record(v);
+  }
+
+  void Checked(uint64_t v) {
+    JISC_CHECK(obs_ != nullptr);
+    obs_->output_delay_ns.Record(v);
+  }
+
+ private:
+  Observability* obs_ = nullptr;
+};
+
+}  // namespace fix

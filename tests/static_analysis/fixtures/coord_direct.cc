@@ -1,0 +1,18 @@
+// Seeded violation [coordinator-only]: a worker loop calls a
+// JISC_COORDINATOR_ONLY method directly (the case the regex lint also
+// catches — kept to pin parity).
+#include "fixture_support.h"
+
+namespace fix {
+
+class CoordDirectExec {
+ public:
+  JISC_COORDINATOR_ONLY void Barrier() {}
+
+  void WorkerLoop(int shard) {
+    (void)shard;
+    Barrier();
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Seeded violation [coordinator-only]: the coordinator-only call is two
+// helpers away from the worker loop. A regex over the worker body cannot
+// see this — only the call-graph closure can.
+#include "fixture_support.h"
+
+namespace fix {
+
+class CoordTransExec {
+ public:
+  JISC_COORDINATOR_ONLY void Enqueue(int item) { (void)item; }
+
+  void WorkerLoop(int shard) { CoordTransHelperA(shard); }
+
+ private:
+  void CoordTransHelperA(int shard) { CoordTransHelperB(shard); }
+  void CoordTransHelperB(int shard) { Enqueue(shard); }
+};
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Seeded violation [determinism]: a wall-clock read on a path reachable
+// from SerializeDeterministic. The clock sits two calls deep so the check
+// must walk the call graph, not just the root's body.
+#include "fixture_support.h"
+
+namespace fix {
+
+static uint64_t DetClockStampHelper() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+static void DetClockWriteHeader(ByteWriter& w) {
+  w.PutU64(DetClockStampHelper());
+}
+
+std::string SerializeDeterministic() {
+  ByteWriter w;
+  DetClockWriteHeader(w);
+  return w.Take();
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Seeded violations [determinism]: PRNG draws (rand() and
+// std::random_device) in a helper reachable from the deterministic root.
+#include "fixture_support.h"
+
+namespace fix {
+
+static uint64_t DetRandSalt() {
+  std::random_device rd;
+  return rd() + static_cast<uint64_t>(rand());
+}
+
+std::string SerializeDeterministicRand() {
+  ByteWriter w;
+  w.PutU64(DetRandSalt());
+  return w.Take();
+}
+
+std::string SerializeDeterministic(int tag) {
+  (void)tag;
+  return SerializeDeterministicRand();
+}
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// Seeded violation [determinism]: iteration over an unordered container
+// whose hash order leaks into deterministically-serialized bytes — the
+// same shape as an engine state export feeding a checkpoint.
+#include "fixture_support.h"
+
+namespace fix {
+
+class DetIterState {
+ public:
+  void Serialize(ByteWriter& w) const {
+    for (const auto& kv : buckets_) {
+      w.PutU64(kv.first);
+      w.PutU64(static_cast<uint64_t>(kv.second));
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, int> buckets_;
+};
+
+std::string SerializeDeterministic(const DetIterState& st) {
+  ByteWriter w;
+  st.Serialize(w);
+  return w.Take();
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// Seeded violation [obs-null-discipline]: Observability* dereferenced
+// with no dominating null check (the pointer is nullptr when the feature
+// is off).
+#include "fixture_support.h"
+
+namespace fix {
+
+class ObsUnguardedSink {
+ public:
+  void Wire(Observability* obs) { obs_ = obs; }
+
+  void OnOutput(uint64_t t0) {
+    obs_->output_delay_ns.Record(obs_->trace.NowNs() - t0);
+  }
+
+ private:
+  Observability* obs_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Seeded violations [obs-null-discipline]: a guard exists but does not
+// dominate the dereference — it tests a different pointer, or the deref
+// escapes the guarded block.
+#include "fixture_support.h"
+
+namespace fix {
+
+class ObsWrongGuard {
+ public:
+  void RecordBoth(uint64_t v) {
+    if (other_ != nullptr) {
+      // Guard is on other_, not obs_: still a violation.
+      obs_->output_delay_ns.Record(v);
+    }
+  }
+
+  void RecordAfterBlock(uint64_t v) {
+    if (obs_ != nullptr) {
+      obs_->output_delay_ns.Record(v);
+    }
+    // Outside the guarded block: violation.
+    obs_->telemetry->AddInput(v);
+  }
+
+ private:
+  Observability* obs_ = nullptr;
+  TelemetryRegistry* other_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Seeded violation [waiver-syntax]: a jisc-verify waiver without a reason
+// is itself a finding — waivers must say why.
+#include "fixture_support.h"
+
+namespace fix {
+
+class WaiverNoReason {
+ public:
+  void Record(uint64_t v) {
+    // jisc-verify: allow(obs-null-discipline)
+    obs_->output_delay_ns.Record(v);
+  }
+
+ private:
+  Observability* obs_ = nullptr;
+};
+
+}  // namespace fix

@@ -4,10 +4,10 @@
 Enforces the invariants that clang -Wthread-safety and clang-tidy cannot
 express (thread *identity*, project layering, header hygiene):
 
-  coordinator-only   JISC_COORDINATOR_ONLY methods may not be called from
-                     worker-thread code (WorkerLoop bodies, functions under
-                     a `jisc-worker-entry:` marker, lambdas handed to
-                     std::thread).
+  coordinator-only   DEPRECATED: superseded by tools/jisc_verify, which
+                     enforces the same contract transitively over the call
+                     graph. The regex version is kept under --legacy (and
+                     for its self-test); default runs print a note instead.
   naked-thread       std::thread may only be constructed/held by the
                      parallel execution engine; everything else must go
                      through it.
@@ -32,18 +32,31 @@ fails), and by the CI static-analysis job (which also publishes
 """
 
 import argparse
+import json
 import os
 import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+# Shared analysis configuration (also read by tools/jisc_verify): the
+# std::thread allowlist lives there so the two tools cannot drift.
+_WAIVER_CONFIG = os.path.join(REPO_ROOT, "tools", "analysis_waivers.json")
+
+
+def _load_shared_config():
+    try:
+        with open(_WAIVER_CONFIG, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return {}
+
+
 # Files allowed to construct or hold std::thread (the parallel engine) —
 # everything else must be driven through it.
-NAKED_THREAD_ALLOWLIST = {
-    "src/exec/parallel_executor.h",
-    "src/exec/parallel_executor.cc",
-}
+NAKED_THREAD_ALLOWLIST = set(_load_shared_config().get(
+    "naked_thread_allowlist",
+    ["src/exec/parallel_executor.h", "src/exec/parallel_executor.cc"]))
 
 # Symbol -> required direct include, for the standalone-header check. The
 # map is deliberately high-precision: each pattern only matches an
@@ -73,9 +86,8 @@ STD_SYMBOLS = [
 
 CHECKS = [
     ("coordinator-only",
-     "JISC_COORDINATOR_ONLY methods must not be called (unqualified or via "
-     "this->) from worker-thread code: WorkerLoop, jisc-worker-entry "
-     "functions, std::thread lambdas"),
+     "DEPRECATED here — superseded by tools/jisc_verify's transitive "
+     "call-graph check; the regex version runs only under --legacy"),
     ("naked-thread",
      "std::thread only inside the parallel engine "
      "(src/exec/parallel_executor.*)"),
@@ -375,9 +387,10 @@ def gather_files(paths):
     return files
 
 
-def run_checks(files):
+def run_checks(files, legacy=True):
     findings = []
-    findings += check_coordinator_only(files)
+    if legacy:
+        findings += check_coordinator_only(files)
     findings += check_naked_thread(files)
     findings += check_unguarded_mutex(files)
     findings += check_header_hygiene(files)
@@ -461,6 +474,9 @@ def main(argv):
                         help="print the rule inventory (markdown) and exit")
     parser.add_argument("--self-test", action="store_true",
                         help="run the embedded detection cases and exit")
+    parser.add_argument("--legacy", action="store_true",
+                        help="also run checks superseded by tools/"
+                             "jisc_verify (regex coordinator-only)")
     args = parser.parse_args(argv)
 
     if args.list_checks:
@@ -479,7 +495,11 @@ def main(argv):
     except FileNotFoundError as e:
         print(f"lint_contracts: no such path: {e}", file=sys.stderr)
         return 2
-    findings = run_checks(files)
+    if not args.legacy:
+        print("note: coordinator-only is enforced transitively by "
+              "tools/jisc_verify (AST/call-graph); the regex version "
+              "here runs only under --legacy", file=sys.stderr)
+    findings = run_checks(files, legacy=args.legacy)
     for f in sorted(findings, key=lambda f: (f.path, f.line)):
         print(f)
     if findings:
