@@ -142,6 +142,9 @@ DiffResult CompareRuns(const RunResult& baseline, const RunResult& current) {
   AddExact(&diff, "shape.checkpoint_restores",
            static_cast<double>(baseline.checkpoint_restores),
            static_cast<double>(current.checkpoint_restores));
+  AddExact(&diff, "shape.dropped_arrivals",
+           static_cast<double>(baseline.dropped_arrivals),
+           static_cast<double>(current.dropped_arrivals));
   for (const auto& [name, value] : current.counters) {
     const auto it = std::find_if(
         baseline.counters.begin(), baseline.counters.end(),

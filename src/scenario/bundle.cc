@@ -32,6 +32,7 @@ Json ShapeJson(const RunResult& r) {
   shape.Set("measured_tuples", r.measured_tuples);
   shape.Set("transitions", r.transitions);
   shape.Set("checkpoint_restores", r.checkpoint_restores);
+  shape.Set("dropped_arrivals", r.dropped_arrivals);
   return shape;
 }
 
@@ -175,6 +176,8 @@ StatusOr<RunResult> RunResultFromJson(const Json& json) {
     ReadU64(*shape, "measured_tuples", &r.measured_tuples);
     ReadU64(*shape, "transitions", &r.transitions);
     ReadU64(*shape, "checkpoint_restores", &r.checkpoint_restores);
+    // Absent in bundles captured before the drop fault existed: stays 0.
+    ReadU64(*shape, "dropped_arrivals", &r.dropped_arrivals);
   }
   const Json* counters = json.Find("counters");
   if (counters == nullptr || !counters->is_object()) {

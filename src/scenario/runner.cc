@@ -283,6 +283,16 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
         if (!s.ok()) return s;
         ++next_event;
       }
+      // Deterministic dropped-arrival fault: every drop_every-th measured
+      // arrival is consumed from the source but never pushed. Schedule
+      // offsets keep counting attempted arrivals (`pushed` advances), so a
+      // dropped run fires its events at the same offsets as a clean one.
+      if (eff.fault.drop_every != 0 &&
+          (pushed + 1) % eff.fault.drop_every == 0) {
+        (void)src.Next();
+        ++result.dropped_arrivals;
+        continue;
+      }
       built.processor->Push(src.Next());
     }
   }

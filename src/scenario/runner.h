@@ -73,6 +73,9 @@ struct RunResult {
   uint64_t measured_tuples = 0;
   uint64_t transitions = 0;
   uint64_t checkpoint_restores = 0;
+  // Measured arrivals consumed but never pushed (fault.drop_every).
+  // Deterministic, so `jiscbench compare` holds it to exact equality.
+  uint64_t dropped_arrivals = 0;
 
   // Deterministic work counters over the measured stage (warmup excluded):
   // Metrics::NamedCounters() deltas, in declaration order.

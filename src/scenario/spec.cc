@@ -265,6 +265,7 @@ Status ParseFault(const Json& json, FaultSpec* out) {
   r.GetInt("straggler_shard", &out->straggler_shard);
   r.GetU64("stall_ms", &out->stall_ms);
   r.GetU64("stall_every", &out->stall_every);
+  r.GetU64("drop_every", &out->drop_every);
   return r.Finish();
 }
 
@@ -470,12 +471,17 @@ Json SpecToJson(const Spec& spec) {
     const FaultSpec def;
     const FaultSpec& f = spec.fault;
     if (f.straggler_shard != def.straggler_shard || f.stall_ms != def.stall_ms ||
-        f.stall_every != def.stall_every) {
+        f.stall_every != def.stall_every || f.drop_every != def.drop_every) {
       Json fault = Json::Object();
-      fault.Set("straggler_shard", f.straggler_shard);
+      if (f.straggler_shard != def.straggler_shard) {
+        fault.Set("straggler_shard", f.straggler_shard);
+      }
       if (f.stall_ms != def.stall_ms) fault.Set("stall_ms", f.stall_ms);
       if (f.stall_every != def.stall_every) {
         fault.Set("stall_every", f.stall_every);
+      }
+      if (f.drop_every != def.drop_every) {
+        fault.Set("drop_every", f.drop_every);
       }
       j.Set("fault", std::move(fault));
     }
@@ -585,6 +591,11 @@ Status ValidateSpec(const Spec& spec) {
     if (fault.stall_every == 0) return invalid("fault.stall_every must be > 0");
   } else if (fault.stall_ms != 0) {
     return invalid("fault.stall_ms requires fault.straggler_shard");
+  }
+  // Dropping every arrival (drop_every == 1) would leave the measured stage
+  // empty; 0 disables the fault, anything >= 2 thins the stream.
+  if (fault.drop_every == 1) {
+    return invalid("fault.drop_every must be 0 (off) or >= 2");
   }
   return Status::Ok();
 }

@@ -89,14 +89,20 @@ struct TelemetrySpec {
   std::optional<int> expect_straggler_shard;
 };
 
-// Wall-clock fault injection (ParallelExecutor::Options straggler fields):
-// the chosen shard's worker sleeps `stall_ms` after every `stall_every`
-// processed events. Outputs and deterministic counters are untouched, so
-// injected runs remain baseline-comparable.
+// Fault injection. The straggler fields are wall-clock faults
+// (ParallelExecutor::Options straggler fields): the chosen shard's worker
+// sleeps `stall_ms` after every `stall_every` processed events. Outputs and
+// deterministic counters are untouched, so injected runs remain
+// baseline-comparable. `drop_every` is a deterministic fault, orthogonal to
+// the straggler fields and valid at any parallelism: the runner consumes
+// every drop_every-th measured arrival without pushing it, so dropped runs
+// produce different (but still byte-identical across repeats) counters and
+// carry the drop count in the bundle's deterministic section.
 struct FaultSpec {
   int straggler_shard = -1;  // -1 = off
   uint64_t stall_ms = 0;
   uint64_t stall_every = 64;
+  uint64_t drop_every = 0;  // 0 = off; N >= 2 drops every Nth arrival
 };
 
 struct Spec {

@@ -315,6 +315,23 @@ TEST(SpecTest, ValidatesTelemetryAndFaultSemantics) {
   EXPECT_TRUE(ValidateSpec(s).ok());
 }
 
+TEST(SpecTest, DropEveryRoundTripAndValidation) {
+  Spec s = TestSpec();
+  s.fault.drop_every = 5;
+  Json j = SpecToJson(s);
+  auto parsed = ParseSpec(j);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().fault.drop_every, 5u);
+  EXPECT_EQ(SpecToJson(parsed.value()).Dump(), j.Dump());
+  // Orthogonal to the straggler fields: the emitted fault section carries
+  // only the drop knob, and the spec is valid at parallelism 1.
+  EXPECT_EQ(j.Dump().find("straggler_shard"), std::string::npos);
+  EXPECT_TRUE(ValidateSpec(s).ok());
+  // drop_every == 1 would drop every measured arrival.
+  s.fault.drop_every = 1;
+  EXPECT_FALSE(ValidateSpec(s).ok());
+}
+
 TEST(RunnerTest, TelemetryDoesNotPerturbTheDeterministicSection) {
   Spec s = TestSpec();
   s.streams = 4;
@@ -391,6 +408,27 @@ TEST(RunnerTest, HealthySymmetricRunRaisesNoStragglers) {
   auto r = RunScenario(s);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   for (uint64_t f : r.value().telemetry.straggler_flags) EXPECT_EQ(f, 0u);
+}
+
+TEST(RunnerTest, DropEveryThinsTheMeasuredStreamDeterministically) {
+  Spec s = TestSpec();
+  s.fault.drop_every = 4;
+  auto dropped = RunScenario(s);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  // 2000 attempted arrivals at scale 1; every 4th is consumed unpushed.
+  EXPECT_EQ(dropped.value().measured_tuples, 2000u);
+  EXPECT_EQ(dropped.value().dropped_arrivals, 500u);
+  // Repeat runs of the same spec stay byte-identical.
+  auto again = RunScenario(s);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(SerializeDeterministic(dropped.value()),
+            SerializeDeterministic(again.value()));
+  // ...and genuinely differ from the clean run (work counters shrink).
+  auto clean = RunScenario(TestSpec());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean.value().dropped_arrivals, 0u);
+  EXPECT_NE(SerializeDeterministic(dropped.value()),
+            SerializeDeterministic(clean.value()));
 }
 
 TEST(RunnerTest, CheckpointRestoreContinuesTheRun) {
