@@ -662,16 +662,20 @@ def build_model_textual(paths):
     return model
 
 
-def gather_cpp_files(paths, exts=(".h", ".cc")):
+def gather_cpp_files(paths, exts=(".h", ".cc", ".cpp")):
+    # Absolute paths throughout: the waiver layer reconstructs file keys
+    # from repo-relative finding paths, so relative CLI arguments must not
+    # leak into the model.
     out = []
     for p in paths:
         if os.path.isdir(p):
             for dirpath, _, names in os.walk(p):
                 for name in sorted(names):
                     if name.endswith(exts):
-                        out.append(os.path.join(dirpath, name))
+                        out.append(
+                            os.path.abspath(os.path.join(dirpath, name)))
         elif os.path.isfile(p):
-            out.append(p)
+            out.append(os.path.abspath(p))
         else:
             raise FileNotFoundError(p)
     return out
