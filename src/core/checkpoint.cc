@@ -8,7 +8,8 @@
 namespace jisc {
 
 namespace {
-constexpr uint64_t kMagic = 0x4a49534343505431ULL;  // "JISCCPT1"
+constexpr uint64_t kMagic = 0x4a49534343505431ULL;       // "JISCCPT1"
+constexpr uint64_t kGuardMagic = 0x4a49534347524431ULL;  // "JISCGRD1"
 }  // namespace
 
 StatusOr<std::string> CheckpointEngine(Engine& engine) {
@@ -164,6 +165,61 @@ StatusOr<std::unique_ptr<Engine>> RestoreEngine(
   engine->ReplaceExecutor(std::move(exec));
   engine->RestoreClocks(next_stamp, max_seq);
   return engine;
+}
+
+StatusOr<std::string> CheckpointGuardedEngine(GuardedProcessor& guarded) {
+  auto* engine = dynamic_cast<Engine*>(guarded.inner());
+  if (engine == nullptr) {
+    return Status::FailedPrecondition(
+        "guarded checkpoint requires a single-threaded Engine inside the "
+        "guard");
+  }
+  auto inner = CheckpointEngine(*engine);
+  if (!inner.ok()) return inner.status();
+  ByteWriter guard_bytes;
+  guarded.guard().SerializeCanonical(&guard_bytes);
+  ByteWriter w;
+  w.PutU64(kGuardMagic);
+  w.PutString(guard_bytes.Take());
+  w.PutString(inner.value());
+  return w.Take();
+}
+
+StatusOr<std::unique_ptr<GuardedProcessor>> RestoreGuardedEngine(
+    const std::string& bytes, Sink* sink,
+    std::unique_ptr<MigrationStrategy> strategy, Engine::Options options) {
+  ByteReader r(bytes);
+  uint64_t magic = 0;
+  Status s = r.GetU64(&magic);
+  if (!s.ok()) return s;
+  if (magic != kGuardMagic) {
+    return Status::InvalidArgument("not a guarded JISC checkpoint");
+  }
+  std::string guard_bytes;
+  s = r.GetString(&guard_bytes);
+  if (!s.ok()) return s;
+  std::string engine_bytes;
+  s = r.GetString(&engine_bytes);
+  if (!s.ok()) return s;
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after guarded checkpoint");
+  }
+
+  TelemetryRegistry* telemetry =
+      options.obs != nullptr ? options.obs->telemetry.get() : nullptr;
+  ByteReader guard_reader(guard_bytes);
+  auto guard = IngressGuard::DeserializeCanonical(&guard_reader, telemetry,
+                                                  /*track=*/0);
+  if (!guard.ok()) return guard.status();
+  if (!guard_reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after guard state");
+  }
+
+  auto engine = RestoreEngine(engine_bytes, sink, std::move(strategy),
+                              options);
+  if (!engine.ok()) return engine.status();
+  return std::make_unique<GuardedProcessor>(std::move(engine).value(),
+                                            std::move(guard).value());
 }
 
 }  // namespace jisc

@@ -29,6 +29,24 @@ StatusOr<std::unique_ptr<Engine>> RestoreEngine(
     std::unique_ptr<MigrationStrategy> strategy,
     Engine::Options options = Engine::Options());
 
+// Checkpoint of an ingress-guarded engine (exec/ingress_guard.h): the
+// guard's canonical bytes (dedup windows, reorder buffer, clock, stats)
+// followed by the inner engine's checkpoint. The engine-side quiescence
+// rules apply unchanged; the guard's reorder buffer may be NON-empty —
+// tuples held there have not been admitted yet, so they are guard state,
+// not engine state (this is exactly the checkpoint-mid-reorder case).
+// The wrapped processor must be a single-threaded Engine.
+StatusOr<std::string> CheckpointGuardedEngine(GuardedProcessor& guarded);
+
+// Rebuilds the guarded engine: the guard resumes with its buffered tuples
+// and dedup history intact, the engine exactly as RestoreEngine would.
+// The restored guard's telemetry hookup follows options.obs (nullptr or
+// telemetry-off = no gauge writes), on the coordinator track.
+StatusOr<std::unique_ptr<GuardedProcessor>> RestoreGuardedEngine(
+    const std::string& bytes, Sink* sink,
+    std::unique_ptr<MigrationStrategy> strategy,
+    Engine::Options options = Engine::Options());
+
 }  // namespace jisc
 
 #endif  // JISC_CORE_CHECKPOINT_H_

@@ -9,6 +9,7 @@
 
 #include "core/freshness_tracker.h"
 #include "core/migration_strategy.h"
+#include "exec/ingress_guard.h"
 #include "exec/pipeline_executor.h"
 #include "exec/stream_processor.h"
 
@@ -52,6 +53,12 @@ class Engine : public StreamProcessor {
     // engines under the parallel executor).
     Observability* obs = nullptr;
     int obs_track = 0;
+    // Opt-in ingress resilience stage (exec/ingress_guard.h): when enabled,
+    // MakeEngineProcessor wraps the built processor in a GuardedProcessor
+    // that dedups and re-orders the feed before admission. Disabled (the
+    // default) adds no wrapper and no branch — the Engine itself never
+    // reads this field.
+    IngressGuard::Options ingress;
   };
 
   Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/ingress_guard.h"
 
 namespace jisc {
 
@@ -12,14 +13,19 @@ std::unique_ptr<StreamProcessor> MakeEngineProcessor(
     ParallelExecutor::Options parallel_options) {
   JISC_CHECK(strategy_factory != nullptr);
   if (options.parallelism <= 1) {
-    return std::make_unique<Engine>(plan, windows, sink, strategy_factory(),
-                                    options);
+    auto engine = std::make_unique<Engine>(plan, windows, sink,
+                                           strategy_factory(), options);
+    return MaybeGuardProcessor(std::move(engine), options.ingress,
+                               windows.num_streams(), options.obs);
   }
   parallel_options.num_shards = options.parallelism;
   parallel_options.obs = options.obs;
   Engine::Options shard_options = options;
   shard_options.parallelism = 1;
   shard_options.exec.external_expiry = true;
+  // The guard runs once, on the coordinator side, in front of the whole
+  // executor: shard engines see an already-cleaned feed.
+  shard_options.ingress = IngressGuard::Options();
   ParallelExecutor::ShardFactory shard_factory =
       [plan, windows, shard_options,
        strategy_factory = std::move(strategy_factory)](Sink* shard_sink,
@@ -33,8 +39,10 @@ std::unique_ptr<StreamProcessor> MakeEngineProcessor(
         return std::make_unique<Engine>(plan, windows, shard_sink,
                                         strategy_factory(), opts);
       };
-  return std::make_unique<ParallelExecutor>(plan, windows, sink,
-                                            shard_factory, parallel_options);
+  auto executor = std::make_unique<ParallelExecutor>(
+      plan, windows, sink, shard_factory, parallel_options);
+  return MaybeGuardProcessor(std::move(executor), options.ingress,
+                             windows.num_streams(), options.obs);
 }
 
 }  // namespace jisc

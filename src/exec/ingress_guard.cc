@@ -1,0 +1,307 @@
+#include "exec/ingress_guard.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/observability.h"
+#include "obs/telemetry.h"
+
+namespace jisc {
+
+namespace {
+
+// Serialization layout version (embedded in guarded checkpoints).
+constexpr uint64_t kGuardFormatVersion = 1;
+
+uint64_t PolicyCode(IngressGuard::OverflowPolicy policy) {
+  switch (policy) {
+    case IngressGuard::OverflowPolicy::kAdmitLate:
+      return 0;
+    case IngressGuard::OverflowPolicy::kDropLate:
+      return 1;
+    case IngressGuard::OverflowPolicy::kFail:
+      return 2;
+  }
+  return 0;
+}
+
+Status PolicyFromCode(uint64_t code, IngressGuard::OverflowPolicy* out) {
+  switch (code) {
+    case 0:
+      *out = IngressGuard::OverflowPolicy::kAdmitLate;
+      return Status::Ok();
+    case 1:
+      *out = IngressGuard::OverflowPolicy::kDropLate;
+      return Status::Ok();
+    case 2:
+      *out = IngressGuard::OverflowPolicy::kFail;
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("ingress guard: unknown overflow policy");
+}
+
+}  // namespace
+
+IngressGuard::IngressGuard(const Options& options, int num_streams,
+                           TelemetryRegistry* telemetry, int track)
+    : options_(options),
+      telemetry_(telemetry),
+      track_(track),
+      recent_(static_cast<size_t>(num_streams)),
+      recent_index_(static_cast<size_t>(num_streams)) {
+  JISC_CHECK(num_streams > 0);
+  JISC_CHECK(options_.dedup_window > 0);
+  JISC_CHECK(options_.reorder_window > 0);
+}
+
+void IngressGuard::AdmitTuple(const BaseTuple& tuple,
+                              std::vector<BaseTuple>* admit) {
+  admit->push_back(tuple);
+  auto stream = static_cast<size_t>(tuple.stream);
+  JISC_DCHECK(stream < recent_.size());
+  std::deque<Seq>& window = recent_[stream];
+  auto& index = recent_index_[stream];
+  window.push_back(tuple.seq);
+  index.insert(tuple.seq);
+  if (window.size() > options_.dedup_window) {
+    index.erase(window.front());
+    window.pop_front();
+  }
+}
+
+void IngressGuard::DrainReadyRun(std::vector<BaseTuple>* admit) {
+  for (auto it = reorder_.begin();
+       it != reorder_.end() && it->first == next_expected_;
+       it = reorder_.erase(it)) {
+    AdmitTuple(it->second, admit);
+    ++next_expected_;
+    ++stats_.reorder_restored;
+    if (telemetry_ != nullptr) telemetry_->OnIngressReorderRestored(track_);
+  }
+}
+
+Status IngressGuard::Offer(const BaseTuple& tuple,
+                           std::vector<BaseTuple>* admit) {
+  if (tuple.seq == next_expected_) {
+    AdmitTuple(tuple, admit);
+    ++next_expected_;
+    DrainReadyRun(admit);
+    return Status::Ok();
+  }
+  if (tuple.seq > next_expected_) {
+    // Ahead of the expected seq: hold until the gap fills. A seq already
+    // buffered is a duplicate of a tuple that has not even been admitted
+    // yet.
+    auto [it, inserted] = reorder_.try_emplace(tuple.seq, tuple);
+    if (!inserted) {
+      ++stats_.duplicates_suppressed;
+      if (telemetry_ != nullptr) {
+        telemetry_->OnIngressDuplicateSuppressed(track_);
+      }
+      return Status::Ok();
+    }
+    if (reorder_.size() > options_.reorder_window) {
+      // Bound exceeded: the missing tuples are presumed lost. Gap-skip to
+      // the smallest buffered seq and admit the consecutive run from
+      // there. Seqs skipped here that do show up later are "late".
+      next_expected_ = reorder_.begin()->first;
+      DrainReadyRun(admit);
+    }
+    return Status::Ok();
+  }
+  // Below the expected seq: an exact duplicate of an admitted tuple, or a
+  // late survivor of a gap-skip.
+  auto stream = static_cast<size_t>(tuple.stream);
+  JISC_DCHECK(stream < recent_index_.size());
+  if (recent_index_[stream].count(tuple.seq) != 0) {
+    ++stats_.duplicates_suppressed;
+    if (telemetry_ != nullptr) {
+      telemetry_->OnIngressDuplicateSuppressed(track_);
+    }
+    return Status::Ok();
+  }
+  switch (options_.overflow) {
+    case OverflowPolicy::kAdmitLate:
+      AdmitTuple(tuple, admit);
+      ++stats_.late_admitted;
+      if (telemetry_ != nullptr) telemetry_->OnIngressLateAdmitted(track_);
+      return Status::Ok();
+    case OverflowPolicy::kDropLate:
+      ++stats_.late_dropped;
+      if (telemetry_ != nullptr) telemetry_->OnIngressLateDropped(track_);
+      return Status::Ok();
+    case OverflowPolicy::kFail:
+      return Status::FailedPrecondition(
+          "ingress guard: late arrival seq=" + std::to_string(tuple.seq) +
+          " below expected seq=" + std::to_string(next_expected_) +
+          " under overflow policy 'fail'");
+  }
+  return Status::Ok();
+}
+
+void IngressGuard::Flush(std::vector<BaseTuple>* admit) {
+  while (!reorder_.empty()) {
+    next_expected_ = reorder_.begin()->first;
+    DrainReadyRun(admit);
+  }
+}
+
+void IngressGuard::SerializeCanonical(ByteWriter* writer) const {
+  writer->PutU64(kGuardFormatVersion);
+  writer->PutU64(options_.dedup_window);
+  writer->PutU64(options_.reorder_window);
+  writer->PutU64(PolicyCode(options_.overflow));
+  writer->PutU64(next_expected_);
+  writer->PutU64(stats_.duplicates_suppressed);
+  writer->PutU64(stats_.reorder_restored);
+  writer->PutU64(stats_.late_admitted);
+  writer->PutU64(stats_.late_dropped);
+  writer->PutU64(recent_.size());
+  for (const std::deque<Seq>& window : recent_) {
+    writer->PutU64(window.size());
+    for (Seq seq : window) writer->PutU64(seq);
+  }
+  writer->PutU64(reorder_.size());
+  // std::map iterates in ascending seq order: canonical by construction.
+  for (const auto& [seq, tuple] : reorder_) {
+    writer->PutU64(tuple.stream);
+    writer->PutI64(tuple.key);
+    writer->PutI64(tuple.payload);
+    writer->PutU64(tuple.seq);
+    writer->PutU64(tuple.ts);
+  }
+}
+
+StatusOr<std::unique_ptr<IngressGuard>> IngressGuard::DeserializeCanonical(
+    ByteReader* reader, TelemetryRegistry* telemetry, int track) {
+  auto bad = [](const std::string& msg) {
+    return Status::InvalidArgument("ingress guard checkpoint: " + msg);
+  };
+  uint64_t version = 0;
+  Status s = reader->GetU64(&version);
+  if (!s.ok()) return s;
+  if (version != kGuardFormatVersion) return bad("unsupported version");
+  Options options;
+  options.enabled = true;
+  uint64_t dedup = 0;
+  uint64_t reorder_window = 0;
+  uint64_t policy_code = 0;
+  if (!(s = reader->GetU64(&dedup)).ok()) return s;
+  if (!(s = reader->GetU64(&reorder_window)).ok()) return s;
+  if (!(s = reader->GetU64(&policy_code)).ok()) return s;
+  if (dedup == 0 || reorder_window == 0) return bad("zero buffer bound");
+  options.dedup_window = dedup;
+  options.reorder_window = reorder_window;
+  if (!(s = PolicyFromCode(policy_code, &options.overflow)).ok()) return s;
+  uint64_t next_expected = 0;
+  Stats stats;
+  if (!(s = reader->GetU64(&next_expected)).ok()) return s;
+  if (!(s = reader->GetU64(&stats.duplicates_suppressed)).ok()) return s;
+  if (!(s = reader->GetU64(&stats.reorder_restored)).ok()) return s;
+  if (!(s = reader->GetU64(&stats.late_admitted)).ok()) return s;
+  if (!(s = reader->GetU64(&stats.late_dropped)).ok()) return s;
+  uint64_t num_streams = 0;
+  if (!(s = reader->GetU64(&num_streams)).ok()) return s;
+  if (num_streams == 0 || num_streams > kMaxStreams) {
+    return bad("stream count out of range");
+  }
+  auto guard = std::make_unique<IngressGuard>(
+      options, static_cast<int>(num_streams), telemetry, track);
+  guard->next_expected_ = next_expected;
+  guard->stats_ = stats;
+  for (uint64_t i = 0; i < num_streams; ++i) {
+    uint64_t count = 0;
+    if (!(s = reader->GetU64(&count)).ok()) return s;
+    if (count > options.dedup_window) return bad("recent window overflows");
+    for (uint64_t j = 0; j < count; ++j) {
+      uint64_t seq = 0;
+      if (!(s = reader->GetU64(&seq)).ok()) return s;
+      guard->recent_[i].push_back(seq);
+      guard->recent_index_[i].insert(seq);
+    }
+  }
+  uint64_t pending = 0;
+  if (!(s = reader->GetU64(&pending)).ok()) return s;
+  for (uint64_t i = 0; i < pending; ++i) {
+    uint64_t stream = 0;
+    BaseTuple t;
+    if (!(s = reader->GetU64(&stream)).ok()) return s;
+    if (stream >= num_streams) return bad("buffered tuple stream range");
+    t.stream = static_cast<StreamId>(stream);
+    if (!(s = reader->GetI64(&t.key)).ok()) return s;
+    if (!(s = reader->GetI64(&t.payload)).ok()) return s;
+    if (!(s = reader->GetU64(&t.seq)).ok()) return s;
+    if (!(s = reader->GetU64(&t.ts)).ok()) return s;
+    guard->reorder_.emplace(t.seq, t);
+  }
+  if (guard->reorder_.size() != pending) {
+    return bad("duplicate seq in buffered tuples");
+  }
+  return guard;
+}
+
+GuardedProcessor::GuardedProcessor(std::unique_ptr<StreamProcessor> inner,
+                                   std::unique_ptr<IngressGuard> guard)
+    : inner_(std::move(inner)), guard_(std::move(guard)) {
+  JISC_CHECK(inner_ != nullptr);
+  JISC_CHECK(guard_ != nullptr);
+}
+
+std::string GuardedProcessor::name() const { return inner_->name(); }
+
+void GuardedProcessor::Push(const BaseTuple& tuple) {
+  admit_.clear();
+  Status s = guard_->Offer(tuple, &admit_);
+  // OverflowPolicy::kFail is fail-stop by definition: the caller asked for
+  // an error over silent absorption, and Push has no error channel.
+  JISC_CHECK(s.ok()) << s.ToString();
+  for (const BaseTuple& t : admit_) inner_->Push(t);
+}
+
+void GuardedProcessor::PushExpiry(const BaseTuple& tuple) {
+  // Expiries are engine-internal bookkeeping, not ingress: forward as-is.
+  inner_->PushExpiry(tuple);
+}
+
+Status GuardedProcessor::RequestTransition(const LogicalPlan& new_plan) {
+  // Tuples already offered were received before the transition; admit them
+  // through the old plan first, exactly like the engine drains its own
+  // buffer (Section 4.1).
+  FlushPending();
+  return inner_->RequestTransition(new_plan);
+}
+
+const Metrics& GuardedProcessor::metrics() const { return inner_->metrics(); }
+
+uint64_t GuardedProcessor::StateMemory() const {
+  return inner_->StateMemory();
+}
+
+void GuardedProcessor::FlushPending() {
+  if (guard_->pending() == 0) return;
+  admit_.clear();
+  guard_->Flush(&admit_);
+  for (const BaseTuple& t : admit_) inner_->Push(t);
+}
+
+std::unique_ptr<StreamProcessor> GuardedProcessor::ReplaceInner(
+    std::unique_ptr<StreamProcessor> inner) {
+  JISC_CHECK(inner != nullptr);
+  std::swap(inner_, inner);
+  return inner;
+}
+
+std::unique_ptr<StreamProcessor> MaybeGuardProcessor(
+    std::unique_ptr<StreamProcessor> inner,
+    const IngressGuard::Options& options, int num_streams,
+    Observability* obs) {
+  if (!options.enabled) return inner;
+  TelemetryRegistry* telemetry =
+      obs != nullptr ? obs->telemetry.get() : nullptr;
+  auto guard = std::make_unique<IngressGuard>(options, num_streams,
+                                              telemetry, /*track=*/0);
+  return std::make_unique<GuardedProcessor>(std::move(inner),
+                                            std::move(guard));
+}
+
+}  // namespace jisc

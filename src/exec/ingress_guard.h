@@ -1,0 +1,186 @@
+#ifndef JISC_EXEC_INGRESS_GUARD_H_
+#define JISC_EXEC_INGRESS_GUARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "exec/stream_processor.h"
+#include "types/tuple.h"
+
+namespace jisc {
+
+class TelemetryRegistry;
+struct Observability;
+
+// Ingress resilience stage: sits in front of a StreamProcessor's admission
+// path and turns a duplicated/reordered feed back into the exactly-once,
+// in-order stream every processor downstream assumes. Three mechanisms:
+//
+//  * duplicate suppression — a bounded per-stream window of recently
+//    admitted sequence numbers; a tuple whose seq was already admitted on
+//    its stream (or is still waiting in the reorder buffer) is dropped;
+//  * order restoration — a bounded reorder buffer keyed by seq. Tuples
+//    ahead of the next expected seq are held and flushed in sequence order
+//    as the gap fills. When the buffer exceeds its bound the guard
+//    gap-skips: the next expected seq jumps to the smallest buffered seq
+//    (the missing tuples are presumed lost) and the run of consecutive
+//    buffered tuples is admitted;
+//  * late-arrival policy — a tuple below the next expected seq that is NOT
+//    a duplicate (it was gap-skipped past, e.g. dropped upstream and
+//    re-sent very late) is handled per OverflowPolicy: admitted out of
+//    order, counted and dropped, or a hard error.
+//
+// Both buffers are bounded (Options::dedup_window, Options::reorder_window)
+// so the guard's state stays O(streams * dedup_window + reorder_window)
+// regardless of window sizes downstream.
+//
+// Determinism contract (jisc-verify): classification depends only on the
+// offered tuple sequence — no clocks, no PRNG — and SerializeCanonical
+// iterates only ordered containers (the seq-keyed std::map and the
+// insertion-ordered recent deques), so checkpointed guard bytes are
+// byte-identical across runs. The unordered lookup index is rebuilt from
+// the deques on restore and is never iterated.
+//
+// The guard is strictly opt-in: MaybeGuardProcessor returns the inner
+// processor unchanged (no wrapper, no extra virtual hop, no branch) when
+// Options::enabled is false.
+class IngressGuard {
+ public:
+  // What to do with a non-duplicate tuple that arrives below the next
+  // expected sequence number (it was gap-skipped past).
+  enum class OverflowPolicy {
+    kAdmitLate,  // admit it out of order (exactly-once beats ordering)
+    kDropLate,   // drop it (ordering beats completeness)
+    kFail,       // fail-stop: surface the anomaly instead of absorbing it
+  };
+
+  struct Options {
+    bool enabled = false;
+    // Per-stream recently-admitted-seq window for duplicate suppression.
+    // Must cover the feed's maximum duplicate distance.
+    size_t dedup_window = 1024;
+    // Reorder buffer bound; exceeding it triggers a gap-skip.
+    size_t reorder_window = 64;
+    OverflowPolicy overflow = OverflowPolicy::kAdmitLate;
+  };
+
+  // Deterministic classification counters. Mirrored into the per-track
+  // telemetry gauges when a registry is attached; these fields are the
+  // exact-compared source of truth either way.
+  struct Stats {
+    uint64_t duplicates_suppressed = 0;
+    uint64_t reorder_restored = 0;
+    uint64_t late_admitted = 0;
+    uint64_t late_dropped = 0;
+  };
+
+  // `telemetry` may be nullptr (the observability null-pointer discipline:
+  // off means no gauge writes at all); `track` labels the gauge track (0 =
+  // coordinator — the guard runs on the admission thread).
+  IngressGuard(const Options& options, int num_streams,
+               TelemetryRegistry* telemetry = nullptr, int track = 0);
+
+  IngressGuard(const IngressGuard&) = delete;
+  IngressGuard& operator=(const IngressGuard&) = delete;
+
+  // Classifies one arrival. Every tuple the call admits (the offered tuple
+  // and/or buffered successors it unblocked) is appended to *admit in the
+  // order the downstream processor must see. Fails only under
+  // OverflowPolicy::kFail on a late non-duplicate arrival.
+  Status Offer(const BaseTuple& tuple, std::vector<BaseTuple>* admit);
+
+  // Drains the reorder buffer into *admit via gap-skips (quiescence before
+  // a transition, a checkpoint boundary, or end of input).
+  void Flush(std::vector<BaseTuple>* admit);
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  int num_streams() const { return static_cast<int>(recent_.size()); }
+  // Tuples currently held in the reorder buffer.
+  size_t pending() const { return reorder_.size(); }
+  Seq next_expected() const { return next_expected_; }
+
+  // Canonical serialization: options, clock, stats, per-stream recent
+  // windows in insertion order, reorder buffer in ascending-seq order.
+  void SerializeCanonical(ByteWriter* writer) const;
+  // Inverse; the lookup index is rebuilt from the serialized deques.
+  static StatusOr<std::unique_ptr<IngressGuard>> DeserializeCanonical(
+      ByteReader* reader, TelemetryRegistry* telemetry = nullptr,
+      int track = 0);
+
+ private:
+  // Admits one tuple: appends to *admit and records its seq in the
+  // stream's recent window.
+  void AdmitTuple(const BaseTuple& tuple, std::vector<BaseTuple>* admit);
+  // Admits the run of consecutive buffered seqs starting at next_expected_.
+  void DrainReadyRun(std::vector<BaseTuple>* admit);
+
+  Options options_;
+  TelemetryRegistry* telemetry_;  // nullptr = telemetry off
+  int track_;
+
+  Seq next_expected_ = 0;
+  // Held out-of-order arrivals, keyed (and therefore iterated) by seq.
+  std::map<Seq, BaseTuple> reorder_;
+  // Per-stream admitted-seq history: the deque is the bounded canonical
+  // record (insertion order), the set is only a lookup index.
+  std::vector<std::deque<Seq>> recent_;
+  std::vector<std::unordered_set<Seq, U64Hash>> recent_index_;
+  Stats stats_;
+};
+
+// StreamProcessor wrapper that routes every Push through an IngressGuard.
+// RequestTransition flushes the guard first: tuples already offered belong
+// before the plan change (Section 4.1's buffer-clearing contract extends
+// to the guard's buffer). Metrics, state memory, and the name are the
+// inner processor's.
+class GuardedProcessor : public StreamProcessor {
+ public:
+  GuardedProcessor(std::unique_ptr<StreamProcessor> inner,
+                   std::unique_ptr<IngressGuard> guard);
+
+  std::string name() const override;
+  void Push(const BaseTuple& tuple) override;
+  void PushExpiry(const BaseTuple& tuple) override;
+  Status RequestTransition(const LogicalPlan& new_plan) override;
+  const Metrics& metrics() const override;
+  uint64_t StateMemory() const override;
+
+  // Drains the guard's reorder buffer into the inner processor.
+  void FlushPending();
+
+  StreamProcessor* inner() { return inner_.get(); }
+  const IngressGuard& guard() const { return *guard_; }
+  IngressGuard& mutable_guard() { return *guard_; }
+  // Checkpoint support: swap the inner processor (e.g. for a restored
+  // engine) without disturbing the guard.
+  std::unique_ptr<StreamProcessor> ReplaceInner(
+      std::unique_ptr<StreamProcessor> inner);
+
+ private:
+  std::unique_ptr<StreamProcessor> inner_;
+  std::unique_ptr<IngressGuard> guard_;
+  // Reused admission scratch (no per-Push allocation at steady state).
+  std::vector<BaseTuple> admit_;
+};
+
+// The opt-in wiring point: wraps `inner` when options.enabled, otherwise
+// returns it unchanged — the disabled path has no wrapper and no branch.
+std::unique_ptr<StreamProcessor> MaybeGuardProcessor(
+    std::unique_ptr<StreamProcessor> inner,
+    const IngressGuard::Options& options, int num_streams,
+    Observability* obs);
+
+}  // namespace jisc
+
+#endif  // JISC_EXEC_INGRESS_GUARD_H_

@@ -35,6 +35,13 @@ TelemetryTrackSample TelemetryRegistry::SampleTrack(int t) const {
   s.state_memory_bytes =
       tt.state_memory_bytes.load(std::memory_order_relaxed);
   s.straggler_flags = tt.straggler_flags.load(std::memory_order_relaxed);
+  s.ingress_duplicates =
+      tt.ingress_duplicates.load(std::memory_order_relaxed);
+  s.ingress_reordered = tt.ingress_reordered.load(std::memory_order_relaxed);
+  s.ingress_late_admitted =
+      tt.ingress_late_admitted.load(std::memory_order_relaxed);
+  s.ingress_late_dropped =
+      tt.ingress_late_dropped.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -108,6 +115,32 @@ void TelemetrySampler::SampleOnce() {
 }
 
 void TelemetrySampler::RunWatchdog(const TelemetrySnapshot& snapshot) {
+  // Ingress anomaly watchdog: one `ingress_anomaly` instant per episode in
+  // which the summed anomaly gauges grow faster than the threshold per
+  // sample. Mirrors the straggler watchdog's once-per-episode discipline.
+  if (options_.anomaly_threshold > 0) {
+    uint64_t total = 0;
+    for (const TelemetryTrackSample& t : snapshot.tracks) {
+      total += t.ingress_duplicates + t.ingress_late_admitted +
+               t.ingress_late_dropped;
+    }
+    uint64_t delta = total - last_anomaly_total_;
+    if (anomaly_have_last_ && delta > options_.anomaly_threshold) {
+      if (!anomaly_episode_open_) {
+        anomaly_episode_open_ = true;
+        anomaly_episodes_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_ != nullptr) {
+          TraceInstant(&obs_->trace, "ingress_anomaly", "telemetry", 0,
+                       "events", delta);
+        }
+      }
+    } else {
+      anomaly_episode_open_ = false;
+    }
+    last_anomaly_total_ = total;
+    anomaly_have_last_ = true;
+  }
+
   // Shard tracks only (track 0 is the coordinator), and only with siblings
   // to compare against.
   int tracks = static_cast<int>(snapshot.tracks.size());

@@ -57,6 +57,13 @@ struct alignas(64) TrackTelemetry {
   // Times the stall watchdog flagged this track as a straggler suspect
   // (written by the sampler, read by exporters/assertions).
   std::atomic<uint64_t> straggler_flags{0};
+  // Ingress guard anomaly gauges (exec/ingress_guard.h): duplicates the
+  // guard suppressed, out-of-order arrivals it restored into sequence, and
+  // late (gap-skipped-past) arrivals admitted or dropped per policy.
+  std::atomic<uint64_t> ingress_duplicates{0};
+  std::atomic<uint64_t> ingress_reordered{0};
+  std::atomic<uint64_t> ingress_late_admitted{0};
+  std::atomic<uint64_t> ingress_late_dropped{0};
 };
 
 // One track's gauge values at sample time.
@@ -69,6 +76,10 @@ struct TelemetryTrackSample {
   uint64_t stalled_ns = 0;
   uint64_t state_memory_bytes = 0;
   uint64_t straggler_flags = 0;
+  uint64_t ingress_duplicates = 0;
+  uint64_t ingress_reordered = 0;
+  uint64_t ingress_late_admitted = 0;
+  uint64_t ingress_late_dropped = 0;
 };
 
 // One timestamped snapshot of the whole registry plus the cumulative
@@ -135,6 +146,20 @@ class TelemetryRegistry {
   void NoteStraggler(int track) {
     slot(track).straggler_flags.fetch_add(1, std::memory_order_relaxed);
   }
+  // Ingress guard anomaly writers (exec/ingress_guard.cc). Like every hot-
+  // path writer: the guard holds no registry at all when telemetry is off.
+  void OnIngressDuplicateSuppressed(int track) {
+    slot(track).ingress_duplicates.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnIngressReorderRestored(int track) {
+    slot(track).ingress_reordered.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnIngressLateAdmitted(int track) {
+    slot(track).ingress_late_admitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnIngressLateDropped(int track) {
+    slot(track).ingress_late_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // --- reader side ---
   uint64_t input_events() const {
@@ -192,6 +217,11 @@ class TelemetrySampler {
     size_t ring_capacity = 4096;
     // Consecutive flat samples before a straggler verdict.
     int watchdog_samples = 5;
+    // Ingress anomaly watchdog: when the per-sample increase of the summed
+    // ingress anomaly gauges (duplicates suppressed + late admitted + late
+    // dropped, across all tracks) exceeds this, emit one `ingress_anomaly`
+    // trace instant per episode. 0 disables the watchdog.
+    uint64_t anomaly_threshold = 0;
     // Tests set this to false and call SampleOnce() manually.
     bool start_thread = true;
   };
@@ -220,6 +250,12 @@ class TelemetrySampler {
   // Final per-track straggler verdict counts (index = track).
   std::vector<uint64_t> StragglerFlags() const;
 
+  // Ingress anomaly episodes the watchdog flagged (sampler-local counter;
+  // one per burst of anomalies above options.anomaly_threshold).
+  uint64_t anomaly_episodes() const {
+    return anomaly_episodes_.load(std::memory_order_relaxed);
+  }
+
   const Options& options() const { return options_; }
 
  private:
@@ -245,6 +281,12 @@ class TelemetrySampler {
   std::vector<int> flat_samples_;
   std::vector<uint64_t> episode_sibling_max_;
   bool have_last_ = false;
+
+  // Ingress anomaly watchdog state (same single-caller contract).
+  uint64_t last_anomaly_total_ = 0;
+  bool anomaly_have_last_ = false;
+  bool anomaly_episode_open_ = false;
+  std::atomic<uint64_t> anomaly_episodes_{0};
 
   // The sampler owns its background thread: it only reads registry atomics
   // and appends to the mutex-guarded ring, so it cannot deadlock with (or

@@ -138,7 +138,11 @@ void WriteTelemetryJsonl(std::ostream& os,
          << ts.queue_high_watermark << ",\"stalls\":" << ts.stall_count
          << ",\"stalled_ns\":" << ts.stalled_ns << ",\"state_bytes\":"
          << ts.state_memory_bytes << ",\"straggler\":"
-         << ts.straggler_flags << "}";
+         << ts.straggler_flags << ",\"ingress_dup\":"
+         << ts.ingress_duplicates << ",\"ingress_reordered\":"
+         << ts.ingress_reordered << ",\"ingress_late_admitted\":"
+         << ts.ingress_late_admitted << ",\"ingress_late_dropped\":"
+         << ts.ingress_late_dropped << "}";
       first = false;
     }
     os << "]}\n";
@@ -225,6 +229,18 @@ void WritePrometheusText(
        &TelemetryTrackSample::state_memory_bytes},
       {"jisc_track_straggler_flags_total", "Stall-watchdog verdicts.",
        "counter", &TelemetryTrackSample::straggler_flags},
+      {"jisc_track_ingress_duplicates_total",
+       "Duplicate arrivals the IngressGuard suppressed.", "counter",
+       &TelemetryTrackSample::ingress_duplicates},
+      {"jisc_track_ingress_reordered_total",
+       "Out-of-order arrivals the IngressGuard restored.", "counter",
+       &TelemetryTrackSample::ingress_reordered},
+      {"jisc_track_ingress_late_admitted_total",
+       "Late arrivals admitted past the dedup window.", "counter",
+       &TelemetryTrackSample::ingress_late_admitted},
+      {"jisc_track_ingress_late_dropped_total",
+       "Late arrivals dropped by the drop_late overflow policy.", "counter",
+       &TelemetryTrackSample::ingress_late_dropped},
   };
   for (const Gauge& g : gauges) {
     os << "# HELP " << g.name << " " << g.help << "\n"

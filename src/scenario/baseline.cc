@@ -145,6 +145,24 @@ DiffResult CompareRuns(const RunResult& baseline, const RunResult& current) {
   AddExact(&diff, "shape.dropped_arrivals",
            static_cast<double>(baseline.dropped_arrivals),
            static_cast<double>(current.dropped_arrivals));
+  AddExact(&diff, "shape.duplicated_arrivals",
+           static_cast<double>(baseline.duplicated_arrivals),
+           static_cast<double>(current.duplicated_arrivals));
+  AddExact(&diff, "shape.reordered_arrivals",
+           static_cast<double>(baseline.reordered_arrivals),
+           static_cast<double>(current.reordered_arrivals));
+  AddExact(&diff, "shape.duplicates_suppressed",
+           static_cast<double>(baseline.duplicates_suppressed),
+           static_cast<double>(current.duplicates_suppressed));
+  AddExact(&diff, "shape.reorder_restored",
+           static_cast<double>(baseline.reorder_restored),
+           static_cast<double>(current.reorder_restored));
+  AddExact(&diff, "shape.late_admitted",
+           static_cast<double>(baseline.late_admitted),
+           static_cast<double>(current.late_admitted));
+  AddExact(&diff, "shape.late_dropped",
+           static_cast<double>(baseline.late_dropped),
+           static_cast<double>(current.late_dropped));
   for (const auto& [name, value] : current.counters) {
     const auto it = std::find_if(
         baseline.counters.begin(), baseline.counters.end(),

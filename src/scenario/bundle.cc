@@ -33,6 +33,12 @@ Json ShapeJson(const RunResult& r) {
   shape.Set("transitions", r.transitions);
   shape.Set("checkpoint_restores", r.checkpoint_restores);
   shape.Set("dropped_arrivals", r.dropped_arrivals);
+  shape.Set("duplicated_arrivals", r.duplicated_arrivals);
+  shape.Set("reordered_arrivals", r.reordered_arrivals);
+  shape.Set("duplicates_suppressed", r.duplicates_suppressed);
+  shape.Set("reorder_restored", r.reorder_restored);
+  shape.Set("late_admitted", r.late_admitted);
+  shape.Set("late_dropped", r.late_dropped);
   return shape;
 }
 
@@ -48,6 +54,7 @@ Json TelemetryJson(const TelemetryResult& t) {
   Json flags = Json::Array();
   for (uint64_t f : t.straggler_flags) flags.Append(f);
   j.Set("straggler_flags", std::move(flags));
+  j.Set("anomaly_episodes", t.anomaly_episodes);
   Json series = Json::Array();
   for (const TelemetrySnapshot& s : t.series) {
     Json snap = Json::Object();
@@ -71,6 +78,10 @@ Json TelemetryJson(const TelemetryResult& t) {
       track.Set("stalled_ns", ts.stalled_ns);
       track.Set("state_bytes", ts.state_memory_bytes);
       track.Set("straggler", ts.straggler_flags);
+      track.Set("ingress_dup", ts.ingress_duplicates);
+      track.Set("ingress_reordered", ts.ingress_reordered);
+      track.Set("ingress_late_admitted", ts.ingress_late_admitted);
+      track.Set("ingress_late_dropped", ts.ingress_late_dropped);
       tracks.Append(std::move(track));
     }
     snap.Set("tracks", std::move(tracks));
@@ -178,6 +189,13 @@ StatusOr<RunResult> RunResultFromJson(const Json& json) {
     ReadU64(*shape, "checkpoint_restores", &r.checkpoint_restores);
     // Absent in bundles captured before the drop fault existed: stays 0.
     ReadU64(*shape, "dropped_arrivals", &r.dropped_arrivals);
+    // Likewise for the ingress fault/guard counters (pre-guard bundles).
+    ReadU64(*shape, "duplicated_arrivals", &r.duplicated_arrivals);
+    ReadU64(*shape, "reordered_arrivals", &r.reordered_arrivals);
+    ReadU64(*shape, "duplicates_suppressed", &r.duplicates_suppressed);
+    ReadU64(*shape, "reorder_restored", &r.reorder_restored);
+    ReadU64(*shape, "late_admitted", &r.late_admitted);
+    ReadU64(*shape, "late_dropped", &r.late_dropped);
   }
   const Json* counters = json.Find("counters");
   if (counters == nullptr || !counters->is_object()) {
@@ -240,6 +258,8 @@ StatusOr<RunResult> RunResultFromJson(const Json& json) {
     }
     ReadU64(*telemetry, "samples", &r.telemetry.samples);
     ReadU64(*telemetry, "dropped_snapshots", &r.telemetry.dropped_snapshots);
+    // Absent in bundles captured before the ingress watchdog: stays 0.
+    ReadU64(*telemetry, "anomaly_episodes", &r.telemetry.anomaly_episodes);
     if (const Json* flags = telemetry->Find("straggler_flags");
         flags != nullptr && flags->is_array()) {
       for (const Json& f : flags->items()) {

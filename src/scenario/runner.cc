@@ -6,9 +6,11 @@
 #include <string>
 
 #include "common/hash.h"
+#include "common/random.h"
 #include "common/timer.h"
 #include "core/checkpoint.h"
 #include "core/engine.h"
+#include "exec/ingress_guard.h"
 #include "exec/parallel_executor.h"
 #include "obs/observability.h"
 #include "obs/telemetry.h"
@@ -74,6 +76,52 @@ std::vector<std::pair<std::string, uint64_t>> CounterDelta(
   return out;
 }
 
+// Seeded bounded-shuffle delivery buffer (fault.reorder_window): arrivals
+// collect into tumbling batches of `window` tuples; each full batch is
+// Fisher-Yates-shuffled and delivered whole. Displacement is therefore
+// strictly bounded — a tuple never moves more than window-1 positions, and
+// batches do not interleave — which is what lets an IngressGuard with
+// reorder_window >= the fault window restore order without ever
+// gap-skipping. The Rng is derived from the run seed, so the same spec at
+// the same seed always produces the same reordering.
+class ReorderInjector {
+ public:
+  ReorderInjector(size_t window, uint64_t seed) : window_(window), rng_(seed) {}
+
+  // True when the injector is a pass-through (fault off).
+  bool disabled() const { return window_ == 0; }
+
+  template <typename Deliver>
+  void Feed(const BaseTuple& tuple, Deliver&& deliver) {
+    if (window_ == 0) {
+      deliver(tuple);
+      return;
+    }
+    buf_.push_back(tuple);
+    if (buf_.size() >= window_) ShuffleAndDeliver(deliver);
+  }
+
+  template <typename Deliver>
+  void Flush(Deliver&& deliver) {
+    if (!buf_.empty()) ShuffleAndDeliver(deliver);
+  }
+
+ private:
+  template <typename Deliver>
+  void ShuffleAndDeliver(Deliver&& deliver) {
+    for (size_t i = buf_.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(rng_.UniformU64(i + 1));
+      std::swap(buf_[i], buf_[j]);
+    }
+    for (const BaseTuple& t : buf_) deliver(t);
+    buf_.clear();
+  }
+
+  size_t window_;
+  Rng rng_;
+  std::vector<BaseTuple> buf_;
+};
+
 }  // namespace
 
 uint64_t ScaleCount(uint64_t paper_scale_count, double scale) {
@@ -107,19 +155,24 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
   ProcessorKind kind = kind_or.value();
   double scale = options.scale;
 
-  // Scaled windows.
+  // Scaled windows. Time mode scales the durations exactly like counts —
+  // at ts_stride 1 a duration IS an arrival count, so the scaled regimes
+  // match the count-window scenarios'.
   int streams = eff.streams;
+  bool time_windows = eff.window_mode == "time";
   WindowSpec windows;
   uint64_t window0 = 0;
   if (eff.windows.empty()) {
     window0 = ScaleWindow(eff.window, scale);
-    windows = WindowSpec::Uniform(streams, window0);
+    windows = time_windows ? WindowSpec::UniformTime(streams, window0)
+                           : WindowSpec::Uniform(streams, window0);
   } else {
     std::vector<uint64_t> sizes;
     sizes.reserve(eff.windows.size());
     for (uint64_t w : eff.windows) sizes.push_back(ScaleWindow(w, scale));
     window0 = sizes[0];
-    windows = WindowSpec::PerStream(std::move(sizes));
+    windows = time_windows ? WindowSpec::PerStreamTime(std::move(sizes))
+                           : WindowSpec::PerStream(std::move(sizes));
   }
 
   // Arrival source. key_domain "auto" (0) tracks the scaled first-stream
@@ -139,6 +192,9 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
             : eff.arrival.fanout_streams;
   }
   cfg.interleave = eff.arrival.interleave;
+  // The stride is an event-time resolution, not a workload magnitude: it
+  // stays unscaled (window durations scale instead).
+  cfg.ts_stride = eff.arrival.ts_stride;
   cfg.seed = eff.seed;
   SyntheticSource src(cfg);
   uint64_t base_domain = cfg.key_domain;
@@ -159,11 +215,26 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     parallel_options.straggler_stall_every = eff.fault.stall_every;
   }
 
+  // Engine-side ingress resilience ("ingress" key). The guard's buffer
+  // bounds are real bounds, not workload magnitudes: they stay unscaled.
+  IngressGuard::Options ingress;
+  if (eff.ingress.enabled) {
+    ingress.enabled = true;
+    ingress.dedup_window = eff.ingress.dedup_window;
+    ingress.reorder_window = eff.ingress.reorder_window;
+    ingress.overflow =
+        eff.ingress.overflow == "drop_late"
+            ? IngressGuard::OverflowPolicy::kDropLate
+            : (eff.ingress.overflow == "fail"
+                   ? IngressGuard::OverflowPolicy::kFail
+                   : IngressGuard::OverflowPolicy::kAdmitLate);
+  }
+
   LogicalPlan initial_plan =
       LogicalPlan::LeftDeep(InitialOrder(streams), OpKind::kHashJoin);
   BuiltProcessor built =
       MakeProcessor(kind, initial_plan, windows, ThetaSpec(),
-                    eff.parallelism, &obs, parallel_options);
+                    eff.parallelism, &obs, parallel_options, ingress);
 
   // The sampler starts after the processor is built (tracks registered) and
   // covers warmup + measured stage; Stop() below takes the final snapshot.
@@ -172,6 +243,7 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
                                ? options.telemetry_period_ms
                                : eff.telemetry.period_ms;
   sampler_opts.watchdog_samples = eff.telemetry.watchdog_samples;
+  sampler_opts.anomaly_threshold = eff.ingress.anomaly_threshold;
   std::unique_ptr<TelemetrySampler> sampler;
   if (telemetry_on) {
     sampler = std::make_unique<TelemetrySampler>(&obs, sampler_opts);
@@ -244,7 +316,24 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     // Checkpoint/restore (S16): serialize the engine, rebuild it from the
     // bytes, and continue the run on the restored engine. The restored
     // engine's Metrics restart from zero, so bank the old engine's
-    // counters first.
+    // counters first. An ingress-guarded engine checkpoints through the
+    // guarded wrapper (guard state rides along in the same bytes).
+    Engine::Options eopts;
+    eopts.obs = &obs;
+    eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
+    if (auto* guarded =
+            dynamic_cast<GuardedProcessor*>(built.processor.get())) {
+      StatusOr<std::string> bytes = CheckpointGuardedEngine(*guarded);
+      if (!bytes.ok()) return bytes.status();
+      accumulated += guarded->metrics();
+      StatusOr<std::unique_ptr<GuardedProcessor>> restored =
+          RestoreGuardedEngine(bytes.value(), built.sink.get(),
+                               EngineStrategyFactory(kind)(), eopts);
+      if (!restored.ok()) return restored.status();
+      built.processor = std::move(restored).value();
+      ++result.checkpoint_restores;
+      return Status::Ok();
+    }
     auto* engine = dynamic_cast<Engine*>(built.processor.get());
     if (engine == nullptr) {
       return Status::FailedPrecondition(
@@ -253,9 +342,6 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     StatusOr<std::string> bytes = CheckpointEngine(*engine);
     if (!bytes.ok()) return bytes.status();
     accumulated += engine->metrics();
-    Engine::Options eopts;
-    eopts.obs = &obs;
-    eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
     StatusOr<std::unique_ptr<Engine>> restored =
         RestoreEngine(bytes.value(), built.sink.get(),
                       EngineStrategyFactory(kind)(), eopts);
@@ -264,6 +350,39 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     ++result.checkpoint_restores;
     return Status::Ok();
   };
+
+  // Ingress fault pipeline: drop decisions happen first (a dropped arrival
+  // is consumed and never seen again), surviving tuples pass through the
+  // seeded reorder buffer, and duplication re-feeds the original tuple so
+  // the duplicate is reordered independently of its twin. `deliver` counts
+  // an arrival as reordered when it lands below the highest seq already
+  // delivered — a deterministic function of the seed.
+  ReorderInjector reorder(eff.fault.reorder_window,
+                          HashCombine(eff.seed, 0x7265726f72646572ULL));
+  Seq max_delivered = 0;
+  bool any_delivered = false;
+  auto deliver = [&](const BaseTuple& t) {
+    if (any_delivered && t.seq < max_delivered) ++result.reordered_arrivals;
+    max_delivered = std::max(max_delivered, t.seq);
+    any_delivered = true;
+    built.processor->Push(t);
+  };
+  auto emit = [&](const BaseTuple& t) { reorder.Feed(t, deliver); };
+  // Drains the harness-side fault buffers so schedule events (and the end
+  // of the run) observe every arrival issued before them — the attempted-
+  // arrival semantics of event offsets extend to faulted runs.
+  auto flush_faults = [&] {
+    reorder.Flush(deliver);
+    if (auto* guarded =
+            dynamic_cast<GuardedProcessor*>(built.processor.get())) {
+      guarded->FlushPending();
+    }
+  };
+  uint64_t burst_at = eff.fault.drop_burst > 0
+                          ? ScaleOffset(eff.fault.drop_burst_at, scale, total)
+                          : 0;
+  uint64_t burst_len =
+      eff.fault.drop_burst > 0 ? ScaleCount(eff.fault.drop_burst, scale) : 0;
 
   size_t next_event = 0;
   uint64_t pushed = 0;
@@ -277,25 +396,40 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
                          : base_domain);
     uint64_t phase_tuples = ScaleCount(phase.tuples, scale);
     for (uint64_t i = 0; i < phase_tuples; ++i, ++pushed) {
-      while (next_event < schedule.size() &&
-             schedule[next_event].at == pushed) {
-        Status s = fire_event(*schedule[next_event].event);
-        if (!s.ok()) return s;
-        ++next_event;
+      if (next_event < schedule.size() && schedule[next_event].at == pushed) {
+        flush_faults();
+        do {
+          Status s = fire_event(*schedule[next_event].event);
+          if (!s.ok()) return s;
+          ++next_event;
+        } while (next_event < schedule.size() &&
+                 schedule[next_event].at == pushed);
       }
-      // Deterministic dropped-arrival fault: every drop_every-th measured
-      // arrival is consumed from the source but never pushed. Schedule
-      // offsets keep counting attempted arrivals (`pushed` advances), so a
-      // dropped run fires its events at the same offsets as a clean one.
-      if (eff.fault.drop_every != 0 &&
-          (pushed + 1) % eff.fault.drop_every == 0) {
+      // Deterministic dropped-arrival faults: every drop_every-th measured
+      // arrival, and the drop_burst consecutive arrivals starting at
+      // drop_burst_at, are consumed from the source but never pushed.
+      // Schedule offsets keep counting attempted arrivals (`pushed`
+      // advances), so a faulted run fires its events at the same offsets
+      // as a clean one.
+      bool drop_periodic = eff.fault.drop_every != 0 &&
+                           (pushed + 1) % eff.fault.drop_every == 0;
+      bool drop_burst = burst_len > 0 && pushed >= burst_at &&
+                        pushed < burst_at + burst_len;
+      if (drop_periodic || drop_burst) {
         (void)src.Next();
         ++result.dropped_arrivals;
         continue;
       }
-      built.processor->Push(src.Next());
+      BaseTuple t = src.Next();
+      emit(t);
+      if (eff.fault.duplicate_every != 0 &&
+          (pushed + 1) % eff.fault.duplicate_every == 0) {
+        ++result.duplicated_arrivals;
+        emit(t);
+      }
     }
   }
+  flush_faults();
   // Events scheduled at (or clamped to) the end of the run.
   while (next_event < schedule.size()) {
     Status s = fire_event(*schedule[next_event].event);
@@ -312,6 +446,15 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
           : 0;
 
   result.counters = CounterDelta(accumulated, final_metrics, warmup_snapshot);
+
+  if (auto* guarded =
+          dynamic_cast<GuardedProcessor*>(built.processor.get())) {
+    const IngressGuard::Stats& stats = guarded->guard().stats();
+    result.duplicates_suppressed = stats.duplicates_suppressed;
+    result.reorder_restored = stats.reorder_restored;
+    result.late_admitted = stats.late_admitted;
+    result.late_dropped = stats.late_dropped;
+  }
 
   result.histograms.emplace_back("output_delay_ns",
                                  SummarizeHistogram(obs.output_delay_ns));
@@ -338,6 +481,7 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     result.telemetry.dropped_snapshots = sampler->dropped_snapshots();
     result.telemetry.series = sampler->Snapshots();
     result.telemetry.straggler_flags = sampler->StragglerFlags();
+    result.telemetry.anomaly_episodes = sampler->anomaly_episodes();
     // Watchdog expectations: lock in the verdict from the spec itself —
     // symmetric specs must stay flag-free, fault-injection specs must flag
     // exactly the injected shard.

@@ -51,6 +51,9 @@ struct TelemetryResult {
   std::vector<TelemetrySnapshot> series;
   // Final straggler-verdict count per track (0 = coordinator).
   std::vector<uint64_t> straggler_flags;
+  // Ingress anomaly episodes the sampler's watchdog flagged (only when the
+  // spec sets ingress.anomaly_threshold).
+  uint64_t anomaly_episodes = 0;
 };
 
 // The outcome of one scenario run, split along the determinism boundary:
@@ -73,9 +76,21 @@ struct RunResult {
   uint64_t measured_tuples = 0;
   uint64_t transitions = 0;
   uint64_t checkpoint_restores = 0;
-  // Measured arrivals consumed but never pushed (fault.drop_every).
-  // Deterministic, so `jiscbench compare` holds it to exact equality.
+  // Measured arrivals consumed but never pushed (fault.drop_every and
+  // fault.drop_burst). Deterministic, so `jiscbench compare` holds it to
+  // exact equality.
   uint64_t dropped_arrivals = 0;
+  // Measured arrivals re-delivered by fault.duplicate_every.
+  uint64_t duplicated_arrivals = 0;
+  // Measured arrivals delivered below the highest seq already delivered
+  // (fault.reorder_window shuffling). Seed-stable, hence exact-compared.
+  uint64_t reordered_arrivals = 0;
+  // IngressGuard classification totals (zero when the guard is off). As
+  // deterministic as the fault counts they answer.
+  uint64_t duplicates_suppressed = 0;
+  uint64_t reorder_restored = 0;
+  uint64_t late_admitted = 0;
+  uint64_t late_dropped = 0;
 
   // Deterministic work counters over the measured stage (warmup excluded):
   // Metrics::NamedCounters() deltas, in declaration order.

@@ -208,6 +208,7 @@ Status ParseArrival(const Json& json, ArrivalSpec* out) {
       out->fanout_streams.push_back(static_cast<StreamId>(v));
     }
   }
+  r.GetU64("ts_stride", &out->ts_stride);
   return r.Finish();
 }
 
@@ -266,6 +267,20 @@ Status ParseFault(const Json& json, FaultSpec* out) {
   r.GetU64("stall_ms", &out->stall_ms);
   r.GetU64("stall_every", &out->stall_every);
   r.GetU64("drop_every", &out->drop_every);
+  r.GetU64("duplicate_every", &out->duplicate_every);
+  r.GetU64("reorder_window", &out->reorder_window);
+  r.GetU64("drop_burst", &out->drop_burst);
+  r.GetU64("drop_burst_at", &out->drop_burst_at);
+  return r.Finish();
+}
+
+Status ParseIngress(const Json& json, IngressSpec* out) {
+  ObjectReader r(json, "ingress");
+  r.GetBool("enabled", &out->enabled);
+  r.GetU64("dedup_window", &out->dedup_window);
+  r.GetU64("reorder_window", &out->reorder_window);
+  r.GetString("overflow", &out->overflow);
+  r.GetU64("anomaly_threshold", &out->anomaly_threshold);
   return r.Finish();
 }
 
@@ -312,6 +327,7 @@ StatusOr<Spec> ParseSpec(const Json& json) {
   r.GetInt("streams", &spec.streams);
   r.GetU64("window", &spec.window);
   r.GetU64List("windows", &spec.windows);
+  r.GetString("window_mode", &spec.window_mode);
   if (const Json* arrival = r.Take("arrival")) {
     Status s = ParseArrival(*arrival, &spec.arrival);
     if (!s.ok()) return s;
@@ -351,6 +367,10 @@ StatusOr<Spec> ParseSpec(const Json& json) {
   if (const Json* fault = r.Take("fault")) {
     Status fs = ParseFault(*fault, &spec.fault);
     if (!fs.ok()) return fs;
+  }
+  if (const Json* ingress = r.Take("ingress")) {
+    Status is = ParseIngress(*ingress, &spec.ingress);
+    if (!is.ok()) return is;
   }
   r.GetBool("gate", &spec.gate);
   if (const Json* thresholds = r.Take("thresholds")) {
@@ -396,6 +416,7 @@ Json SpecToJson(const Spec& spec) {
     for (uint64_t w : spec.windows) windows.Append(w);
     j.Set("windows", std::move(windows));
   }
+  if (spec.window_mode != "count") j.Set("window_mode", spec.window_mode);
   Json arrival = Json::Object();
   arrival.Set("interleave", InterleaveName(spec.arrival.interleave));
   arrival.Set("key_pattern", KeyPatternName(spec.arrival.key_pattern));
@@ -412,6 +433,9 @@ Json SpecToJson(const Spec& spec) {
       }
       arrival.Set("fanout_streams", std::move(streams));
     }
+  }
+  if (spec.arrival.ts_stride != 1) {
+    arrival.Set("ts_stride", spec.arrival.ts_stride);
   }
   j.Set("arrival", std::move(arrival));
   if (spec.warmup_tuples.has_value()) {
@@ -471,7 +495,11 @@ Json SpecToJson(const Spec& spec) {
     const FaultSpec def;
     const FaultSpec& f = spec.fault;
     if (f.straggler_shard != def.straggler_shard || f.stall_ms != def.stall_ms ||
-        f.stall_every != def.stall_every || f.drop_every != def.drop_every) {
+        f.stall_every != def.stall_every || f.drop_every != def.drop_every ||
+        f.duplicate_every != def.duplicate_every ||
+        f.reorder_window != def.reorder_window ||
+        f.drop_burst != def.drop_burst ||
+        f.drop_burst_at != def.drop_burst_at) {
       Json fault = Json::Object();
       if (f.straggler_shard != def.straggler_shard) {
         fault.Set("straggler_shard", f.straggler_shard);
@@ -483,7 +511,41 @@ Json SpecToJson(const Spec& spec) {
       if (f.drop_every != def.drop_every) {
         fault.Set("drop_every", f.drop_every);
       }
+      if (f.duplicate_every != def.duplicate_every) {
+        fault.Set("duplicate_every", f.duplicate_every);
+      }
+      if (f.reorder_window != def.reorder_window) {
+        fault.Set("reorder_window", f.reorder_window);
+      }
+      if (f.drop_burst != def.drop_burst) {
+        fault.Set("drop_burst", f.drop_burst);
+      }
+      if (f.drop_burst_at != def.drop_burst_at) {
+        fault.Set("drop_burst_at", f.drop_burst_at);
+      }
       j.Set("fault", std::move(fault));
+    }
+  }
+  {
+    const IngressSpec def;
+    const IngressSpec& in = spec.ingress;
+    if (in.enabled || in.dedup_window != def.dedup_window ||
+        in.reorder_window != def.reorder_window ||
+        in.overflow != def.overflow ||
+        in.anomaly_threshold != def.anomaly_threshold) {
+      Json ingress = Json::Object();
+      if (in.enabled) ingress.Set("enabled", true);
+      if (in.dedup_window != def.dedup_window) {
+        ingress.Set("dedup_window", in.dedup_window);
+      }
+      if (in.reorder_window != def.reorder_window) {
+        ingress.Set("reorder_window", in.reorder_window);
+      }
+      if (in.overflow != def.overflow) ingress.Set("overflow", in.overflow);
+      if (in.anomaly_threshold != def.anomaly_threshold) {
+        ingress.Set("anomaly_threshold", in.anomaly_threshold);
+      }
+      j.Set("ingress", std::move(ingress));
     }
   }
   if (!spec.gate) j.Set("gate", false);
@@ -518,6 +580,16 @@ Status ValidateSpec(const Spec& spec) {
     for (uint64_t w : spec.windows) {
       if (w == 0) return invalid("windows entries must be > 0");
     }
+  }
+  if (spec.window_mode != "count" && spec.window_mode != "time") {
+    return invalid("window_mode must be count or time");
+  }
+  if (spec.arrival.ts_stride == 0) {
+    return invalid("arrival.ts_stride must be > 0");
+  }
+  if (spec.arrival.ts_stride != 1 && spec.window_mode != "time") {
+    return invalid("arrival.ts_stride requires window_mode time "
+                   "(count windows ignore event time)");
   }
   if (spec.arrival.zipf_s != 0 &&
       spec.arrival.key_pattern != KeyPattern::kRandom) {
@@ -596,6 +668,38 @@ Status ValidateSpec(const Spec& spec) {
   // empty; 0 disables the fault, anything >= 2 thins the stream.
   if (fault.drop_every == 1) {
     return invalid("fault.drop_every must be 0 (off) or >= 2");
+  }
+  // Same shape for duplication: 1 would double the whole stream — a
+  // different workload, not a fault.
+  if (fault.duplicate_every == 1) {
+    return invalid("fault.duplicate_every must be 0 (off) or >= 2");
+  }
+  if (fault.drop_burst == 0 && fault.drop_burst_at != 0) {
+    return invalid("fault.drop_burst_at requires fault.drop_burst > 0");
+  }
+  if (fault.drop_burst > 0 && fault.drop_burst_at >= total) {
+    return invalid("fault.drop_burst_at past end of run");
+  }
+  const IngressSpec& ingress = spec.ingress;
+  if (ingress.overflow != "admit_late" && ingress.overflow != "drop_late" &&
+      ingress.overflow != "fail") {
+    return invalid("ingress.overflow must be admit_late, drop_late, or fail");
+  }
+  if (ingress.enabled) {
+    if (ingress.dedup_window == 0) {
+      return invalid("ingress.dedup_window must be > 0");
+    }
+    if (ingress.reorder_window == 0) {
+      return invalid("ingress.reorder_window must be > 0");
+    }
+  }
+  if (ingress.anomaly_threshold > 0) {
+    if (!ingress.enabled) {
+      return invalid("ingress.anomaly_threshold requires ingress.enabled");
+    }
+    if (!tel.enabled) {
+      return invalid("ingress.anomaly_threshold requires telemetry.enabled");
+    }
   }
   return Status::Ok();
 }

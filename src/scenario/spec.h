@@ -42,6 +42,10 @@ struct ArrivalSpec {
   // kBottomFanout knobs; fanout_streams empty = first and last stream.
   uint64_t fanout = 3;
   std::vector<StreamId> fanout_streams;
+  // Event-time stride per arrival (SourceConfig::ts_stride): tuple ts =
+  // seq * ts_stride. Only meaningful with window_mode "time"; count-based
+  // windows ignore ts, so any value other than 1 is rejected there.
+  uint64_t ts_stride = 1;
 };
 
 // One contiguous slice of the measured run. Bursts pin arrivals to a
@@ -98,11 +102,44 @@ struct TelemetrySpec {
 // every drop_every-th measured arrival without pushing it, so dropped runs
 // produce different (but still byte-identical across repeats) counters and
 // carry the drop count in the bundle's deterministic section.
+// The deterministic ingress faults (duplicate_every, reorder_window,
+// drop_burst) corrupt the measured feed in seed-stable ways: the same spec
+// at the same seed always duplicates, shuffles, and drops the same
+// arrivals, so faulted runs still compare exact against their own
+// baselines. Their per-fault counts land in the bundle's deterministic
+// shape section next to dropped_arrivals.
 struct FaultSpec {
   int straggler_shard = -1;  // -1 = off
   uint64_t stall_ms = 0;
   uint64_t stall_every = 64;
   uint64_t drop_every = 0;  // 0 = off; N >= 2 drops every Nth arrival
+  // Re-deliver every Nth measured arrival immediately after itself, with
+  // its original payload and sequence number. 0 = off; N >= 2.
+  uint64_t duplicate_every = 0;
+  // Shuffle measured arrivals in seeded tumbling batches of this size
+  // (bounded reordering: a tuple is never displaced by more than
+  // reorder_window - 1 positions, and batches do not interleave). 0 = off.
+  uint64_t reorder_window = 0;
+  // Drop `drop_burst` consecutive measured arrivals starting at offset
+  // `drop_burst_at` (paper-scale; scaled by the runner). Composes with
+  // drop_every. 0 = off.
+  uint64_t drop_burst = 0;
+  uint64_t drop_burst_at = 0;
+};
+
+// Opt-in engine-side ingress resilience ("ingress" key): wraps the
+// processor in an IngressGuard (exec/ingress_guard.h) that suppresses
+// duplicates and restores order before admission. With the guard on, a
+// run under duplicate/reorder faults reproduces the clean run's
+// deterministic counters exactly.
+struct IngressSpec {
+  bool enabled = false;
+  uint64_t dedup_window = 1024;   // per-stream recent-seq window (unscaled)
+  uint64_t reorder_window = 64;   // guard buffer bound (unscaled)
+  std::string overflow = "admit_late";  // admit_late | drop_late | fail
+  // Ingress anomaly watchdog threshold (TelemetrySampler::Options
+  // anomaly_threshold); requires telemetry.enabled. 0 = off.
+  uint64_t anomaly_threshold = 0;
 };
 
 struct Spec {
@@ -113,6 +150,10 @@ struct Spec {
   int streams = 4;
   uint64_t window = 10000;          // uniform count window (paper scale)
   std::vector<uint64_t> windows;    // per-stream override (paper scale)
+  // "count" (default) or "time": time-based sliding windows, where
+  // `window`/`windows` are event-time durations (scaled like counts) and
+  // expiry follows tuple.ts = seq * arrival.ts_stride.
+  std::string window_mode = "count";
 
   ArrivalSpec arrival;
 
@@ -139,6 +180,9 @@ struct Spec {
 
   // Straggler fault injection ("fault" key); requires parallelism > 1.
   FaultSpec fault;
+
+  // Engine-side ingress resilience ("ingress" key).
+  IngressSpec ingress;
 
   // Include in the CI perf-gate pack (the soak spec opts out).
   bool gate = true;

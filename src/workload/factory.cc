@@ -72,7 +72,8 @@ StrategyFactory EngineStrategyFactory(ProcessorKind kind) {
 BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows, ThetaSpec theta,
                              int parallelism, Observability* obs,
-                             ParallelExecutor::Options parallel_options) {
+                             ParallelExecutor::Options parallel_options,
+                             IngressGuard::Options ingress) {
   BuiltProcessor built;
   built.sink = std::make_unique<CountingSink>();
   JISC_CHECK(parallelism <= 1 || IsEngineKind(kind))
@@ -81,6 +82,9 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
   eopts.exec.theta = theta;
   eopts.parallelism = parallelism;
   eopts.obs = obs;
+  // Engine kinds are guarded inside MakeEngineProcessor (so the guard also
+  // fronts the sharded executor); the other kinds are wrapped below.
+  eopts.ingress = ingress;
   switch (kind) {
     case ProcessorKind::kJisc:
     case ProcessorKind::kJiscFirstReceipt:
@@ -126,6 +130,10 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
           plan, windows, built.sink.get(),
           StairsExecutor::MigrationPolicy::kLazyJisc);
       break;
+  }
+  if (!IsEngineKind(kind)) {
+    built.processor = MaybeGuardProcessor(std::move(built.processor), ingress,
+                                          windows.num_streams(), obs);
   }
   return built;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/parallel_engine.h"
+#include "exec/ingress_guard.h"
 #include "exec/sink.h"
 #include "exec/stream_processor.h"
 #include "exec/theta.h"
@@ -63,11 +64,15 @@ struct BuiltProcessor {
 // parallelism > 1 (queue capacity, batch size, straggler fault injection);
 // num_shards and obs are overwritten from `parallelism` / `obs`. Ignored at
 // parallelism <= 1.
+// `ingress` (disabled by default) wraps the built processor — any kind, any
+// parallelism — in a GuardedProcessor (exec/ingress_guard.h) that dedups
+// and re-orders the feed before admission. Disabled adds no wrapper.
 BuiltProcessor MakeProcessor(
     ProcessorKind kind, const LogicalPlan& plan, const WindowSpec& windows,
     ThetaSpec theta = ThetaSpec(), int parallelism = 1,
     Observability* obs = nullptr,
-    ParallelExecutor::Options parallel_options = ParallelExecutor::Options());
+    ParallelExecutor::Options parallel_options = ParallelExecutor::Options(),
+    IngressGuard::Options ingress = IngressGuard::Options());
 
 }  // namespace jisc
 

@@ -1,15 +1,22 @@
 // Robustness and fuzz suites: degenerate parameters, back-to-back and
-// no-op transitions, and a randomized OperatorState fuzzer checked against
-// a simple model.
+// no-op transitions, a randomized OperatorState fuzzer checked against a
+// simple model, and the IngressGuard recovery suite (duplicate
+// suppression, bounded-reorder restoration, overflow policies, and the
+// guarded 4-shard engine under a corrupted feed — the latter runs under
+// ThreadSanitizer via the Parallel test-name filter).
 
 #include <map>
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "common/bytes.h"
 #include "common/random.h"
 #include "core/engine.h"
 #include "core/jisc_runtime.h"
+#include "core/parallel_engine.h"
+#include "exec/ingress_guard.h"
+#include "exec/parallel_executor.h"
 #include "migration/moving_state.h"
 #include "plan/transitions.h"
 #include "tests/test_util.h"
@@ -209,6 +216,266 @@ TEST(RobustnessTest, MovingStateBackToBackTransitions) {
     ref.Push(tuples[i], &ref_out, nullptr);
   }
   EXPECT_EQ(IdentityMultiset(sink.outputs()), IdentityMultiset(ref_out));
+}
+
+// ---------- IngressGuard: classification semantics ----------
+
+BaseTuple GuardTuple(StreamId stream, Seq seq) {
+  BaseTuple t;
+  t.stream = stream;
+  t.key = static_cast<JoinKey>(seq % 5);
+  t.payload = static_cast<int64_t>(seq);
+  t.seq = seq;
+  t.ts = seq;
+  return t;
+}
+
+IngressGuard::Options GuardOptions(
+    size_t dedup, size_t reorder,
+    IngressGuard::OverflowPolicy policy =
+        IngressGuard::OverflowPolicy::kAdmitLate) {
+  IngressGuard::Options o;
+  o.enabled = true;
+  o.dedup_window = dedup;
+  o.reorder_window = reorder;
+  o.overflow = policy;
+  return o;
+}
+
+std::vector<Seq> AdmittedSeqs(const std::vector<BaseTuple>& admitted) {
+  std::vector<Seq> seqs;
+  for (const BaseTuple& t : admitted) seqs.push_back(t.seq);
+  return seqs;
+}
+
+TEST(IngressGuardTest, InOrderFeedPassesThroughUntouched) {
+  IngressGuard guard(GuardOptions(8, 4), 2);
+  std::vector<BaseTuple> admitted;
+  for (Seq s = 0; s < 20; ++s) {
+    ASSERT_TRUE(
+        guard.Offer(GuardTuple(static_cast<StreamId>(s % 2), s), &admitted)
+            .ok());
+  }
+  EXPECT_EQ(AdmittedSeqs(admitted),
+            (std::vector<Seq>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                              14, 15, 16, 17, 18, 19}));
+  EXPECT_EQ(guard.pending(), 0u);
+  EXPECT_EQ(guard.stats().duplicates_suppressed, 0u);
+  EXPECT_EQ(guard.stats().reorder_restored, 0u);
+  EXPECT_EQ(guard.stats().late_admitted, 0u);
+  EXPECT_EQ(guard.stats().late_dropped, 0u);
+}
+
+TEST(IngressGuardTest, SuppressesDuplicatesOfAdmittedAndBufferedTuples) {
+  IngressGuard guard(GuardOptions(8, 4), 1);
+  std::vector<BaseTuple> admitted;
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 0), &admitted).ok());
+  // Duplicate of an already-admitted tuple.
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 0), &admitted).ok());
+  // seq 2 buffers (gap at 1); its duplicate is suppressed while buffered.
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 2), &admitted).ok());
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 2), &admitted).ok());
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 1), &admitted).ok());
+  EXPECT_EQ(AdmittedSeqs(admitted), (std::vector<Seq>{0, 1, 2}));
+  EXPECT_EQ(guard.stats().duplicates_suppressed, 2u);
+  EXPECT_EQ(guard.stats().reorder_restored, 1u);
+}
+
+TEST(IngressGuardTest, RestoresSeededBatchShuffleExactly) {
+  // Shuffle 0..63 in batches of 8 (the harness fault shape) and check the
+  // guard re-emits the identity order with nothing pending.
+  IngressGuard guard(GuardOptions(64, 8), 4);
+  Rng rng(99);
+  std::vector<BaseTuple> admitted;
+  std::vector<BaseTuple> batch;
+  for (Seq s = 0; s < 64; ++s) {
+    batch.push_back(GuardTuple(static_cast<StreamId>(s % 4), s));
+    if (batch.size() == 8) {
+      for (size_t i = batch.size() - 1; i > 0; --i) {
+        std::swap(batch[i], batch[rng.UniformU64(i + 1)]);
+      }
+      for (const BaseTuple& t : batch) {
+        ASSERT_TRUE(guard.Offer(t, &admitted).ok());
+      }
+      batch.clear();
+    }
+  }
+  std::vector<Seq> expect(64);
+  for (Seq s = 0; s < 64; ++s) expect[s] = s;
+  EXPECT_EQ(AdmittedSeqs(admitted), expect);
+  EXPECT_EQ(guard.pending(), 0u);
+  EXPECT_EQ(guard.stats().late_admitted, 0u);
+}
+
+TEST(IngressGuardTest, GapSkipThenLateArrivalFollowsPolicy) {
+  auto feed_gap = [](IngressGuard* guard, std::vector<BaseTuple>* admitted) {
+    // seq 0 admitted, seq 1 never arrives; 2..6 overflow a 4-slot buffer,
+    // forcing a gap-skip past 1.
+    ASSERT_TRUE(guard->Offer(GuardTuple(0, 0), admitted).ok());
+    for (Seq s = 2; s <= 6; ++s) {
+      ASSERT_TRUE(guard->Offer(GuardTuple(0, s), admitted).ok());
+    }
+    EXPECT_EQ(AdmittedSeqs(*admitted), (std::vector<Seq>{0, 2, 3, 4, 5, 6}));
+    EXPECT_EQ(guard->next_expected(), 7u);
+  };
+  {
+    IngressGuard guard(GuardOptions(2, 4), 1);  // dedup window forgets seq 0
+    std::vector<BaseTuple> admitted;
+    feed_gap(&guard, &admitted);
+    ASSERT_TRUE(guard.Offer(GuardTuple(0, 1), &admitted).ok());
+    EXPECT_EQ(admitted.back().seq, 1u);
+    EXPECT_EQ(guard.stats().late_admitted, 1u);
+  }
+  {
+    IngressGuard guard(GuardOptions(2, 4,
+                                    IngressGuard::OverflowPolicy::kDropLate),
+                       1);
+    std::vector<BaseTuple> admitted;
+    feed_gap(&guard, &admitted);
+    ASSERT_TRUE(guard.Offer(GuardTuple(0, 1), &admitted).ok());
+    EXPECT_EQ(admitted.back().seq, 6u);
+    EXPECT_EQ(guard.stats().late_dropped, 1u);
+  }
+  {
+    IngressGuard guard(GuardOptions(2, 4,
+                                    IngressGuard::OverflowPolicy::kFail),
+                       1);
+    std::vector<BaseTuple> admitted;
+    feed_gap(&guard, &admitted);
+    Status s = guard.Offer(GuardTuple(0, 1), &admitted);
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(IngressGuardTest, FlushDrainsPendingInSeqOrder) {
+  IngressGuard guard(GuardOptions(8, 16), 1);
+  std::vector<BaseTuple> admitted;
+  for (Seq s : {5, 3, 9, 7}) {
+    ASSERT_TRUE(guard.Offer(GuardTuple(0, s), &admitted).ok());
+  }
+  EXPECT_TRUE(admitted.empty());  // all ahead of next_expected 0
+  guard.Flush(&admitted);
+  EXPECT_EQ(AdmittedSeqs(admitted), (std::vector<Seq>{3, 5, 7, 9}));
+  EXPECT_EQ(guard.pending(), 0u);
+}
+
+TEST(IngressGuardTest, SerializeRoundTripMidReorder) {
+  IngressGuard guard(GuardOptions(4, 8), 2);
+  std::vector<BaseTuple> admitted;
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 0), &admitted).ok());
+  ASSERT_TRUE(guard.Offer(GuardTuple(1, 1), &admitted).ok());
+  ASSERT_TRUE(guard.Offer(GuardTuple(1, 3), &admitted).ok());  // buffered
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 4), &admitted).ok());  // buffered
+  ASSERT_TRUE(guard.Offer(GuardTuple(1, 1), &admitted).ok());  // duplicate
+  ByteWriter w;
+  guard.SerializeCanonical(&w);
+  std::string bytes = w.Take();
+  ByteReader r(bytes);
+  auto restored = IngressGuard::DeserializeCanonical(&r);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.value()->pending(), 2u);
+  EXPECT_EQ(restored.value()->next_expected(), 2u);
+  EXPECT_EQ(restored.value()->stats().duplicates_suppressed, 1u);
+  // Same canonical bytes again: serialization is deterministic.
+  ByteWriter w2;
+  restored.value()->SerializeCanonical(&w2);
+  EXPECT_EQ(bytes, w2.Take());
+  // The restored guard continues identically: fill the gap, both drain.
+  std::vector<BaseTuple> a1;
+  std::vector<BaseTuple> a2;
+  ASSERT_TRUE(guard.Offer(GuardTuple(0, 2), &a1).ok());
+  ASSERT_TRUE(restored.value()->Offer(GuardTuple(0, 2), &a2).ok());
+  EXPECT_EQ(AdmittedSeqs(a1), (std::vector<Seq>{2, 3, 4}));
+  EXPECT_EQ(AdmittedSeqs(a2), (std::vector<Seq>{2, 3, 4}));
+}
+
+// ---------- IngressGuard over the sharded engine (TSan-gated) ----------
+
+// Corrupts a clean workload the way the scenario harness does: every
+// duplicate_every-th tuple re-delivered after itself, then tumbling
+// batches of reorder_window tuples shuffled with a seeded Rng.
+std::vector<BaseTuple> CorruptFeed(const std::vector<BaseTuple>& clean,
+                                   size_t duplicate_every,
+                                   size_t reorder_window, uint64_t seed) {
+  std::vector<BaseTuple> duplicated;
+  for (size_t i = 0; i < clean.size(); ++i) {
+    duplicated.push_back(clean[i]);
+    if (duplicate_every != 0 && (i + 1) % duplicate_every == 0) {
+      duplicated.push_back(clean[i]);
+    }
+  }
+  Rng rng(seed);
+  std::vector<BaseTuple> corrupted;
+  std::vector<BaseTuple> batch;
+  auto flush_batch = [&] {
+    for (size_t i = batch.size(); i > 1; --i) {
+      std::swap(batch[i - 1], batch[rng.UniformU64(i)]);
+    }
+    corrupted.insert(corrupted.end(), batch.begin(), batch.end());
+    batch.clear();
+  };
+  for (const BaseTuple& t : duplicated) {
+    batch.push_back(t);
+    if (batch.size() >= reorder_window) flush_batch();
+  }
+  flush_batch();
+  return corrupted;
+}
+
+// The guarded 4-shard engine under a duplicated + reordered feed must emit
+// exactly the clean-feed oracle's outputs: the guard restores the feed
+// before the coordinator shards it. Suite name matches CI's TSan test
+// filter (Parallel), so this runs under ThreadSanitizer nightly.
+TEST(GuardedParallelTest, CorruptedFeedMatchesCleanOracleAcrossShards) {
+  LogicalPlan plan = LogicalPlan::LeftDeep({0, 1, 2, 3}, OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 16);
+  auto clean = UniformWorkload(4, 8, 1200);
+  auto corrupted = CorruptFeed(clean, 5, 16, /*seed=*/2026);
+  LogicalPlan target = LogicalPlan::LeftDeep({3, 2, 1, 0}, OpKind::kHashJoin);
+
+  CollectingSink oracle_sink;
+  Engine oracle(plan, windows, &oracle_sink, MakeJiscStrategy());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    if (i == 600) {
+      ASSERT_TRUE(oracle.RequestTransition(target).ok());
+    }
+    oracle.Push(clean[i]);
+  }
+
+  CollectingSink guarded_sink;
+  Engine::Options eopts;
+  eopts.parallelism = 4;
+  eopts.ingress = GuardOptions(1024, 64);
+  auto guarded = MakeEngineProcessor(plan, windows, &guarded_sink,
+                                     [] { return MakeJiscStrategy(); },
+                                     eopts, ParallelExecutor::Options());
+  auto* wrapper = dynamic_cast<GuardedProcessor*>(guarded.get());
+  ASSERT_NE(wrapper, nullptr);
+  // Transitions land at the same clean-feed offset: feed corrupted tuples
+  // until 600 distinct seqs below 600 have been offered, flush, transition.
+  bool transitioned = false;
+  for (const BaseTuple& t : corrupted) {
+    if (!transitioned && wrapper->guard().next_expected() >= 600) {
+      ASSERT_TRUE(guarded->RequestTransition(target).ok());
+      transitioned = true;
+    }
+    guarded->Push(t);
+  }
+  wrapper->FlushPending();
+  ASSERT_TRUE(transitioned);
+  auto* parallel = dynamic_cast<ParallelExecutor*>(wrapper->inner());
+  ASSERT_NE(parallel, nullptr);
+  parallel->Barrier();
+
+  EXPECT_EQ(wrapper->guard().stats().duplicates_suppressed,
+            clean.size() / 5);
+  EXPECT_EQ(wrapper->guard().stats().late_admitted, 0u);
+  EXPECT_EQ(wrapper->guard().stats().late_dropped, 0u);
+  EXPECT_EQ(IdentityMultiset(guarded_sink.outputs()),
+            IdentityMultiset(oracle_sink.outputs()));
+  EXPECT_EQ(IdentityMultiset(guarded_sink.retractions()),
+            IdentityMultiset(oracle_sink.retractions()));
 }
 
 // Fuzz: random schedules over random orders, bushy and left-deep targets,

@@ -332,6 +332,226 @@ TEST(SpecTest, DropEveryRoundTripAndValidation) {
   EXPECT_FALSE(ValidateSpec(s).ok());
 }
 
+TEST(SpecTest, IngressAndNewFaultsRoundTrip) {
+  Spec s = TestSpec();
+  s.fault.duplicate_every = 6;
+  s.fault.reorder_window = 32;
+  s.fault.drop_burst = 50;
+  s.fault.drop_burst_at = 900;
+  s.ingress.enabled = true;
+  s.ingress.dedup_window = 256;
+  s.ingress.reorder_window = 64;
+  s.ingress.overflow = "drop_late";
+  Json j = SpecToJson(s);
+  auto parsed = ParseSpec(j);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SpecToJson(parsed.value()).Dump(), j.Dump());
+  EXPECT_EQ(parsed.value().fault.duplicate_every, 6u);
+  EXPECT_EQ(parsed.value().fault.reorder_window, 32u);
+  EXPECT_EQ(parsed.value().fault.drop_burst, 50u);
+  EXPECT_EQ(parsed.value().fault.drop_burst_at, 900u);
+  EXPECT_TRUE(parsed.value().ingress.enabled);
+  EXPECT_EQ(parsed.value().ingress.dedup_window, 256u);
+  EXPECT_EQ(parsed.value().ingress.reorder_window, 64u);
+  EXPECT_EQ(parsed.value().ingress.overflow, "drop_late");
+  // A default spec keeps both sections out of the document.
+  EXPECT_EQ(SpecToJson(TestSpec()).Dump().find("ingress"),
+            std::string::npos);
+}
+
+TEST(SpecTest, TimeWindowModeRoundTrip) {
+  Spec s = TestSpec();
+  s.window_mode = "time";
+  s.arrival.ts_stride = 4;
+  Json j = SpecToJson(s);
+  auto parsed = ParseSpec(j);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SpecToJson(parsed.value()).Dump(), j.Dump());
+  EXPECT_EQ(parsed.value().window_mode, "time");
+  EXPECT_EQ(parsed.value().arrival.ts_stride, 4u);
+  // Count mode (the default) stays out of the document.
+  EXPECT_EQ(SpecToJson(TestSpec()).Dump().find("window_mode"),
+            std::string::npos);
+}
+
+TEST(SpecTest, ValidatesIngressAndFaultSemantics) {
+  Spec s = TestSpec();
+  s.fault.duplicate_every = 1;  // would duplicate every arrival
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.fault.drop_burst_at = 100;  // offset without a burst length
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.fault.drop_burst = 10;
+  s.fault.drop_burst_at = 2000;  // at/past the end of the measured run
+  EXPECT_FALSE(ValidateSpec(s).ok());
+  s.fault.drop_burst_at = 1999;
+  EXPECT_TRUE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.ingress.enabled = true;
+  s.ingress.overflow = "panic";  // not a policy
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.ingress.enabled = true;
+  s.ingress.dedup_window = 0;  // a zero buffer cannot dedup
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.ingress.enabled = true;
+  s.ingress.anomaly_threshold = 5;  // watchdog needs telemetry on
+  EXPECT_FALSE(ValidateSpec(s).ok());
+  s.telemetry.enabled = true;
+  EXPECT_TRUE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.arrival.ts_stride = 4;  // stride is meaningless for count windows
+  EXPECT_FALSE(ValidateSpec(s).ok());
+  s.window_mode = "time";
+  EXPECT_TRUE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.window_mode = "sliding";  // not a mode
+  EXPECT_FALSE(ValidateSpec(s).ok());
+}
+
+TEST(RunnerTest, TimeWindowRunsAreByteIdentical) {
+  Spec s = TestSpec();
+  s.window_mode = "time";
+  s.arrival.ts_stride = 4;
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeDeterministic(a.value()),
+            SerializeDeterministic(b.value()));
+  EXPECT_EQ(a.value().transitions, 1u);
+  // Widening the stride changes expiry timing, hence the work done.
+  Spec wider = s;
+  wider.arrival.ts_stride = 8;
+  auto c = RunScenario(wider);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(SerializeDeterministic(a.value()),
+            SerializeDeterministic(c.value()));
+}
+
+TEST(RunnerTest, DuplicateAndReorderFaultsAreSeedStable) {
+  Spec s = TestSpec();
+  s.schedule.clear();
+  s.strategy = "cacq";  // eddy windows absorb out-of-order feeds
+  s.fault.duplicate_every = 5;
+  s.fault.reorder_window = 16;
+  auto a = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  // 2000 measured arrivals: every 5th re-delivered.
+  EXPECT_EQ(a.value().duplicated_arrivals, 400u);
+  EXPECT_GT(a.value().reordered_arrivals, 0u);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeDeterministic(a.value()),
+            SerializeDeterministic(b.value()));
+  // A different seed shuffles differently.
+  Spec other = s;
+  other.seed = 43;
+  auto c = RunScenario(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().reordered_arrivals, c.value().reordered_arrivals);
+}
+
+TEST(RunnerTest, DropBurstComposesWithDropEvery) {
+  Spec s = TestSpec();
+  s.schedule.clear();
+  s.fault.drop_every = 4;
+  s.fault.drop_burst = 100;
+  s.fault.drop_burst_at = 500;
+  auto r = RunScenario(s);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 500 periodic drops; the burst spans [500, 600), 25 of which coincide
+  // with a periodic drop, so the burst adds 75 unique drops.
+  EXPECT_EQ(r.value().dropped_arrivals, 575u);
+  auto again = RunScenario(s);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(SerializeDeterministic(r.value()),
+            SerializeDeterministic(again.value()));
+}
+
+// The tentpole recovery property: under duplicate + reorder corruption the
+// guard restores the exact clean-run deterministic counters, at every
+// processor kind and at 4-shard parallelism.
+TEST(RunnerTest, GuardRestoresCleanCountersAtEveryKind) {
+  const char* kKinds[] = {"jisc",        "jisc-first-receipt",
+                          "moving-state", "parallel-track",
+                          "hybrid-track", "cacq",
+                          "mjoin",        "stairs-eager",
+                          "stairs-jisc",  "pipeline-shj"};
+  for (const char* kind : kKinds) {
+    Spec clean = TestSpec();
+    clean.schedule.clear();
+    clean.strategy = kind;
+    auto base = RunScenario(clean);
+    ASSERT_TRUE(base.ok()) << kind << ": " << base.status().ToString();
+
+    Spec faulted = clean;
+    faulted.fault.duplicate_every = 5;
+    faulted.fault.reorder_window = 16;
+    faulted.ingress.enabled = true;
+    faulted.ingress.dedup_window = 256;
+    faulted.ingress.reorder_window = 64;
+    auto guarded = RunScenario(faulted);
+    ASSERT_TRUE(guarded.ok()) << kind << ": " << guarded.status().ToString();
+    EXPECT_EQ(guarded.value().counters, base.value().counters)
+        << "guard failed to restore the clean feed for " << kind;
+    EXPECT_EQ(guarded.value().duplicates_suppressed,
+              guarded.value().duplicated_arrivals)
+        << kind;
+    EXPECT_EQ(guarded.value().late_admitted, 0u) << kind;
+    EXPECT_EQ(guarded.value().late_dropped, 0u) << kind;
+  }
+  // The same property across the sharded coordinator (guard wraps the
+  // whole ParallelExecutor, so shards see a clean ordered feed).
+  Spec clean = TestSpec();
+  clean.schedule.clear();
+  clean.streams = 4;
+  clean.parallelism = 4;
+  auto base = RunScenario(clean);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  Spec faulted = clean;
+  faulted.fault.duplicate_every = 5;
+  faulted.fault.reorder_window = 16;
+  faulted.ingress.enabled = true;
+  auto guarded = RunScenario(faulted);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().ToString();
+  EXPECT_EQ(guarded.value().counters, base.value().counters)
+      << "guard failed to restore the clean feed at parallelism 4";
+}
+
+TEST(RunnerTest, GuardedCheckpointRestoreContinuesTheRun) {
+  // S16 checkpoint/restore mid-run with the guard enabled and faults
+  // active: the guarded checkpoint carries the guard state, so the run
+  // continues as if uninterrupted.
+  Spec s = TestSpec();
+  s.fault.duplicate_every = 5;
+  s.fault.reorder_window = 16;
+  s.ingress.enabled = true;
+  s.schedule.clear();
+  EventSpec cp;
+  cp.at = 1200;
+  cp.action = EventSpec::Action::kCheckpointRestore;
+  s.schedule = {cp};
+  auto with_cp = RunScenario(s);
+  ASSERT_TRUE(with_cp.ok()) << with_cp.status().ToString();
+  EXPECT_EQ(with_cp.value().checkpoint_restores, 1u);
+  s.schedule.clear();
+  auto without = RunScenario(s);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with_cp.value().counters, without.value().counters);
+  EXPECT_EQ(with_cp.value().duplicates_suppressed,
+            without.value().duplicates_suppressed);
+}
+
 TEST(RunnerTest, TelemetryDoesNotPerturbTheDeterministicSection) {
   Spec s = TestSpec();
   s.streams = 4;
@@ -470,6 +690,61 @@ TEST(BundleTest, RunResultRoundTripsThroughJson) {
   EXPECT_EQ(SerializeDeterministic(back.value()),
             SerializeDeterministic(r.value()));
   EXPECT_EQ(back.value().thresholds, r.value().thresholds);
+}
+
+TEST(BundleTest, IngressShapeFieldsRoundTripAndDefaultToZero) {
+  auto r = RunScenario(TestSpec());
+  ASSERT_TRUE(r.ok());
+  RunResult faulted = r.value();
+  faulted.duplicated_arrivals = 400;
+  faulted.reordered_arrivals = 1234;
+  faulted.duplicates_suppressed = 400;
+  faulted.reorder_restored = 1100;
+  faulted.late_admitted = 3;
+  faulted.late_dropped = 1;
+  auto back = RunResultFromJson(RunResultToJson(faulted));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().duplicated_arrivals, 400u);
+  EXPECT_EQ(back.value().reordered_arrivals, 1234u);
+  EXPECT_EQ(back.value().duplicates_suppressed, 400u);
+  EXPECT_EQ(back.value().reorder_restored, 1100u);
+  EXPECT_EQ(back.value().late_admitted, 3u);
+  EXPECT_EQ(back.value().late_dropped, 1u);
+  // A pre-guard bundle (fields absent) parses with all of them zero, so
+  // old committed baselines stay comparable.
+  auto is_new_field = [](const std::string& key) {
+    return key == "duplicated_arrivals" || key == "reordered_arrivals" ||
+           key == "duplicates_suppressed" || key == "reorder_restored" ||
+           key == "late_admitted" || key == "late_dropped";
+  };
+  Json full = RunResultToJson(r.value());
+  Json old = Json::Object();
+  for (const auto& [key, value] : full.members()) {
+    if (key != "shape") {
+      old.Set(key, value);
+      continue;
+    }
+    Json shape = Json::Object();
+    for (const auto& [sk, sv] : value.members()) {
+      if (!is_new_field(sk)) shape.Set(sk, sv);
+    }
+    old.Set("shape", std::move(shape));
+  }
+  auto parsed = RunResultFromJson(old);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().duplicated_arrivals, 0u);
+  EXPECT_EQ(parsed.value().late_dropped, 0u);
+}
+
+TEST(CompareTest, IngressCounterDriftIsExactMatched) {
+  auto base = RunScenario(TestSpec());
+  ASSERT_TRUE(base.ok());
+  RunResult drifted = base.value();
+  drifted.duplicates_suppressed += 1;
+  DiffResult diff = CompareRuns(base.value(), drifted);
+  EXPECT_EQ(diff.exit_code(), kExitRegression);
+  ASSERT_EQ(diff.failures.size(), 1u);
+  EXPECT_EQ(diff.failures[0], "shape.duplicates_suppressed");
 }
 
 TEST(BundleTest, RejectsUnknownBundleVersion) {

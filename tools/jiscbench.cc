@@ -22,15 +22,22 @@
 //   jiscbench validate <spec.json>...
 //       Parse + validate specs (strict: unknown keys are errors).
 //
-//   jiscbench list
-//       Print the available strategy names.
+//   jiscbench list [<dir-or-spec.json>...]
+//       With no arguments, print the available strategy names. With
+//       directories or spec files, print one row per spec:
+//       <file> <name> <strategy> <gate> <faults>, where faults is a
+//       comma-joined summary of the spec's active fault fields ("-" when
+//       none). CI's fault-sweep job selects its workload from the faults
+//       column.
 //
 // Exit codes (stable; CI depends on them): 0 success / comparison passed,
 // 2 usage error, 3 comparison found a regression, 4 spec or bundle error.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -58,7 +65,7 @@ int Usage() {
       "  jiscbench capture <spec.json>... [--scale F] [--out-dir DIR]\n"
       "  jiscbench compare <baseline.json> <run.json> [--out diff.json]\n"
       "  jiscbench validate <spec.json>...\n"
-      "  jiscbench list\n";
+      "  jiscbench list [<dir-or-spec.json>...]\n";
   return kExitUsage;
 }
 
@@ -296,16 +303,78 @@ int CmdValidate(const ParsedArgs& args) {
   return rc;
 }
 
-int CmdList() {
-  for (ProcessorKind kind :
-       {ProcessorKind::kJisc, ProcessorKind::kJiscFirstReceipt,
-        ProcessorKind::kMovingState, ProcessorKind::kParallelTrack,
-        ProcessorKind::kHybridTrack, ProcessorKind::kCacq,
-        ProcessorKind::kMJoin, ProcessorKind::kStairsEager,
-        ProcessorKind::kStairsJisc, ProcessorKind::kStaticPipeline}) {
-    std::cout << ProcessorKindName(kind) << "\n";
+// Comma-joined summary of a spec's active fault fields, "-" when the spec
+// injects nothing. The nightly fault-sweep selects scenarios by this
+// column, so the format is load-bearing: `field=value` pairs, no spaces.
+std::string FaultSummary(const Spec& spec) {
+  std::ostringstream os;
+  auto add = [&os](const std::string& entry) {
+    if (os.tellp() > 0) os << ",";
+    os << entry;
+  };
+  const FaultSpec& f = spec.fault;
+  if (f.straggler_shard >= 0) {
+    add("straggler_shard=" + std::to_string(f.straggler_shard));
   }
-  return 0;
+  if (f.drop_every != 0) add("drop_every=" + std::to_string(f.drop_every));
+  if (f.duplicate_every != 0) {
+    add("duplicate_every=" + std::to_string(f.duplicate_every));
+  }
+  if (f.reorder_window != 0) {
+    add("reorder_window=" + std::to_string(f.reorder_window));
+  }
+  if (f.drop_burst != 0) {
+    add("drop_burst=" + std::to_string(f.drop_burst) + "@" +
+        std::to_string(f.drop_burst_at));
+  }
+  if (spec.ingress.enabled) add("ingress=" + spec.ingress.overflow);
+  std::string summary = os.str();
+  return summary.empty() ? "-" : summary;
+}
+
+int CmdList(const ParsedArgs& args) {
+  if (args.positional.empty()) {
+    for (ProcessorKind kind :
+         {ProcessorKind::kJisc, ProcessorKind::kJiscFirstReceipt,
+          ProcessorKind::kMovingState, ProcessorKind::kParallelTrack,
+          ProcessorKind::kHybridTrack, ProcessorKind::kCacq,
+          ProcessorKind::kMJoin, ProcessorKind::kStairsEager,
+          ProcessorKind::kStairsJisc, ProcessorKind::kStaticPipeline}) {
+      std::cout << ProcessorKindName(kind) << "\n";
+    }
+    return 0;
+  }
+  // Expand directories to their .json files, sorted for stable output.
+  std::vector<std::string> files;
+  for (const std::string& path : args.positional) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> in_dir;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.path().extension() == ".json") {
+          in_dir.push_back(entry.path().string());
+        }
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else {
+      files.push_back(path);
+    }
+  }
+  int rc = 0;
+  for (const std::string& path : files) {
+    StatusOr<Spec> spec = LoadSpecFile(path);
+    if (!spec.ok()) {
+      std::cerr << path << ": " << spec.status().ToString() << "\n";
+      rc = kExitSpecError;
+      continue;
+    }
+    const Spec& s = spec.value();
+    std::cout << path << " " << s.name << " " << s.strategy << " "
+              << (s.gate ? "gate" : "nogate") << " " << FaultSummary(s)
+              << "\n";
+  }
+  return rc;
 }
 
 int Main(int argc, char** argv) {
@@ -317,7 +386,7 @@ int Main(int argc, char** argv) {
   if (cmd == "capture") return CmdCapture(args);
   if (cmd == "compare") return CmdCompare(args);
   if (cmd == "validate") return CmdValidate(args);
-  if (cmd == "list") return CmdList();
+  if (cmd == "list") return CmdList(args);
   return Usage();
 }
 

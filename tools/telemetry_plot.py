@@ -10,6 +10,14 @@ sparklines, one row per track per metric:
   queue        SPSC feed depth at each sample
   stalled      producer-side blocked-nanos accrued per interval
   state        approximate operator-state bytes
+  ingress dup  IngressGuard duplicates suppressed per interval
+  ingress ooo  arrivals the guard re-sequenced per interval
+  late admit   late (post-gap-skip) arrivals admitted per interval
+  late drop    late arrivals discarded per interval
+
+The four ingress rows only appear when the run had the guard enabled
+and the corresponding counter moved — a clean, guard-off run plots
+exactly as before.
 
 Track 0 is the coordinator (input side); shard s is track s+1 — the same
 numbering the trace recorder uses. Tracks the stall watchdog flagged are
@@ -147,6 +155,16 @@ def plot_file(path, snapshots, dropped):
         ("stalled", lambda t: deltas(track_series(snapshots, t,
                                                   "stalled_ns"))),
         ("state", lambda t: track_series(snapshots, t, "state_bytes")[1:]),
+        # IngressGuard gauges export cumulative totals; plot the
+        # per-interval increments so a fault burst shows as a spike.
+        ("ingress dup", lambda t: deltas(track_series(snapshots, t,
+                                                      "ingress_dup"))),
+        ("ingress ooo", lambda t: deltas(track_series(
+            snapshots, t, "ingress_reordered"))),
+        ("late admit", lambda t: deltas(track_series(
+            snapshots, t, "ingress_late_admitted"))),
+        ("late drop", lambda t: deltas(track_series(
+            snapshots, t, "ingress_late_dropped"))),
     ]
     for track in range(n_tracks):
         who = "coordinator" if track == 0 else f"shard {track - 1}"
@@ -164,7 +182,7 @@ def plot_file(path, snapshots, dropped):
                 continue  # all-zero rows are noise (e.g. shard state)
             unit = "/sample" if name.endswith("/s") or name == "stalled" \
                 else ""
-            print(f"    {name:<11}{sparkline(series)}  "
+            print(f"    {name:<12}{sparkline(series)}  "
                   f"max={format_count(max(series))}{unit}")
 
 
