@@ -8,7 +8,12 @@
 namespace jisc {
 
 namespace {
-constexpr uint64_t kMagic = 0x4a49534343505431ULL;       // "JISCCPT1"
+constexpr uint64_t kMagic = 0x4a49534343505431ULL;    // "JISCCPT1"
+// Mid-migration (fluid) checkpoint: adds per-state completeness flags,
+// completed-value sets, and the strategy's migration-state blob. Emitted
+// only when at least one state is incomplete, so quiesced checkpoints stay
+// byte-identical to the v1 format.
+constexpr uint64_t kMagicV2 = 0x4a49534343505432ULL;  // "JISCCPT2"
 constexpr uint64_t kGuardMagic = 0x4a49534347524431ULL;  // "JISCGRD1"
 }  // namespace
 
@@ -18,15 +23,22 @@ StatusOr<std::string> CheckpointEngine(Engine& engine) {
         "checkpoint requires an empty arrival buffer (call Drain first)");
   }
   PipelineExecutor& exec = engine.executor();
+  bool mid_migration = false;
   for (int id = 0; id < exec.num_ops(); ++id) {
     if (!exec.op(id)->state().complete()) {
-      return Status::FailedPrecondition(
-          "checkpoint requires all states complete (migration in flight)");
+      mid_migration = true;
+      break;
     }
+  }
+  if (mid_migration && !engine.strategy().HasMigrationState()) {
+    // The installed strategy cannot serialize its completion bookkeeping,
+    // so a restore could never finish the migration.
+    return Status::FailedPrecondition(
+        "checkpoint requires all states complete (migration in flight)");
   }
 
   ByteWriter w;
-  w.PutU64(kMagic);
+  w.PutU64(mid_migration ? kMagicV2 : kMagic);
   w.PutString(engine.plan().ToString());
   const WindowSpec& windows = engine.windows();
   w.PutU64(windows.time_based() ? 1 : 0);
@@ -41,6 +53,14 @@ StatusOr<std::string> CheckpointEngine(Engine& engine) {
   for (int id = 0; id < exec.num_ops(); ++id) {
     const OperatorState& st = exec.op(id)->state();
     w.PutU64(st.id().bits());
+    if (mid_migration) {
+      w.PutU64(st.complete() ? 0 : 1);
+      if (!st.complete()) {
+        std::vector<JoinKey> keys = st.CompletedKeysSorted();
+        w.PutU64(keys.size());
+        for (JoinKey k : keys) w.PutI64(k);
+      }
+    }
     w.PutU64(st.live_size());
     st.ForEachLiveEntryCanonical([&](const Tuple& t, Stamp insert_stamp) {
       w.PutU64(insert_stamp);
@@ -54,6 +74,9 @@ StatusOr<std::string> CheckpointEngine(Engine& engine) {
       }
     });
   }
+  if (mid_migration) {
+    w.PutString(engine.strategy().SerializeMigrationState());
+  }
   return w.Take();
 }
 
@@ -64,9 +87,10 @@ StatusOr<std::unique_ptr<Engine>> RestoreEngine(
   uint64_t magic = 0;
   Status s = r.GetU64(&magic);
   if (!s.ok()) return s;
-  if (magic != kMagic) {
+  if (magic != kMagic && magic != kMagicV2) {
     return Status::InvalidArgument("not a JISC checkpoint");
   }
+  const bool mid_migration = magic == kMagicV2;
   std::string plan_text;
   s = r.GetString(&plan_text);
   if (!s.ok()) return s;
@@ -118,6 +142,32 @@ StatusOr<std::unique_ptr<Engine>> RestoreEngine(
     StateIndex index = node.kind == OpKind::kNljJoin ? StateIndex::kList
                                                      : StateIndex::kHash;
     auto st = std::make_unique<OperatorState>(node.streams, index);
+    bool incomplete = false;
+    std::vector<JoinKey> completed_keys;
+    if (mid_migration) {
+      uint64_t flag = 0;
+      s = r.GetU64(&flag);
+      if (!s.ok()) return s;
+      if (flag > 1) {
+        return Status::InvalidArgument("corrupt completeness flag");
+      }
+      incomplete = flag == 1;
+      if (incomplete && node.kind == OpKind::kScan) {
+        return Status::InvalidArgument("scan state marked incomplete");
+      }
+      if (incomplete) {
+        uint64_t num_keys = 0;
+        s = r.GetU64(&num_keys);
+        if (!s.ok()) return s;
+        completed_keys.reserve(num_keys);
+        for (uint64_t k = 0; k < num_keys; ++k) {
+          int64_t key = 0;
+          s = r.GetI64(&key);
+          if (!s.ok()) return s;
+          completed_keys.push_back(static_cast<JoinKey>(key));
+        }
+      }
+    }
     uint64_t entries = 0;
     s = r.GetU64(&entries);
     if (!s.ok()) return s;
@@ -152,7 +202,16 @@ StatusOr<std::unique_ptr<Engine>> RestoreEngine(
       st->Insert(Tuple::FromParts(std::move(bases), insert_stamp),
                  insert_stamp);
     }
+    if (incomplete) {
+      st->MarkIncomplete();
+      for (JoinKey k : completed_keys) st->MarkKeyCompleted(k);
+    }
     pool.Put(std::move(st));
+  }
+  std::string migration_blob;
+  if (mid_migration) {
+    s = r.GetString(&migration_blob);
+    if (!s.ok()) return s;
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after checkpoint");
@@ -164,6 +223,11 @@ StatusOr<std::unique_ptr<Engine>> RestoreEngine(
                                                  options.exec, &pool);
   engine->ReplaceExecutor(std::move(exec));
   engine->RestoreClocks(next_stamp, max_seq);
+  if (mid_migration) {
+    s = engine->strategy().RestoreMigrationState(engine.get(),
+                                                 migration_blob);
+    if (!s.ok()) return s;
+  }
   return engine;
 }
 

@@ -1,5 +1,7 @@
 #include "core/completion_tracker.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace jisc {
@@ -81,6 +83,18 @@ void CompletionTracker::ResolveDeferred() {
 bool CompletionTracker::Done() const {
   if (paper_case3_done_) return true;
   return initialized_ && pending_.empty();
+}
+
+std::vector<JoinKey> CompletionTracker::PendingKeysSorted() const {
+  std::vector<JoinKey> keys(pending_.begin(), pending_.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void CompletionTracker::RestorePending(const std::vector<JoinKey>& keys) {
+  pending_.clear();
+  pending_.insert(keys.begin(), keys.end());
+  initialized_ = true;
 }
 
 }  // namespace jisc

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <unordered_set>
+#include <vector>
 
 #include "common/hash.h"
 #include "exec/operator.h"
@@ -61,6 +62,16 @@ class CompletionTracker {
 
   // Declared complete? (Pending set initialized and empty.)
   bool Done() const;
+
+  // --- mid-migration checkpoint support (core/checkpoint.h fluid format) ---
+
+  // Pending values in sorted order (canonical serialization). Only
+  // meaningful when initialized().
+  std::vector<JoinKey> PendingKeysSorted() const;
+
+  // Restores an initialized pending set exactly as serialized, bypassing
+  // the deferred snapshot (the checkpointed run already took it).
+  void RestorePending(const std::vector<JoinKey>& keys);
 
  private:
   void InitPendingFrom(const Operator* reference_child);

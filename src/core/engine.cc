@@ -70,10 +70,33 @@ void Engine::Push(const BaseTuple& tuple) {
   }
 }
 
+void Engine::BeginObsEvent() {
+  if (options_.obs == nullptr) return;
+  if (pending_transition_ns_ != 0) {
+    obs_sink_.BeginEventAt(pending_transition_ns_);
+    pending_transition_ns_ = 0;
+  } else {
+    obs_sink_.BeginEvent();
+  }
+}
+
+void Engine::MaybeRunFluidBatch(Stamp stamp) {
+  if (!options_.fluid.IsFluid()) return;
+  if (++events_since_fluid_ < options_.fluid.batch_period) return;
+  events_since_fluid_ = 0;
+  if (strategy_->FluidBacklog() == 0) return;
+  strategy_->RunFluidBatch(this, stamp);
+  if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+    telemetry->SetMigrationBacklog(options_.obs_track,
+                                   strategy_->FluidBacklog());
+  }
+}
+
 void Engine::Admit(const BaseTuple& tuple) {
-  if (options_.obs != nullptr) obs_sink_.BeginEvent();
+  BeginObsEvent();
   Stamp stamp = AllocateStamp();
   max_seq_seen_ = std::max(max_seq_seen_, tuple.seq);
+  MaybeRunFluidBatch(stamp);
   strategy_->OnArrival(this, tuple, stamp);
   exec_->PushArrival(tuple, stamp);
   exec_->RunUntilIdle();
@@ -88,8 +111,9 @@ void Engine::PushExpiry(const BaseTuple& tuple) {
   // quiescence under its own stamp. Counted toward the maintain cadence so
   // sharded JISC engines still sweep completion detection under expiry-
   // heavy phases.
-  if (options_.obs != nullptr) obs_sink_.BeginEvent();
+  BeginObsEvent();
   Stamp stamp = AllocateStamp();
+  MaybeRunFluidBatch(stamp);
   exec_->PushExpiry(tuple, stamp);
   exec_->RunUntilIdle();
   if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
@@ -148,8 +172,16 @@ Status Engine::RequestTransition(const LogicalPlan& new_plan) {
   }
   freshness_.BumpGeneration();
   ++transitions_;
+  // Charge the transition's own duration to the first post-transition
+  // event: its outputs are delayed by exactly this stall.
+  uint64_t t_request = obs != nullptr ? obs->trace.NowNs() : 0;
   Status s = strategy_->Migrate(this, new_plan);
   if (!s.ok()) return s;
+  if (obs != nullptr) pending_transition_ns_ = t_request;
+  if (TelemetryRegistry* telemetry = TelemetryOf(options_)) {
+    telemetry->SetMigrationBacklog(options_.obs_track,
+                                   strategy_->FluidBacklog());
+  }
   // The strategy installed the successor executor via ReplaceExecutor.
   return Status::Ok();
 }

@@ -59,6 +59,12 @@ class Engine : public StreamProcessor {
     // default) adds no wrapper and no branch — the Engine itself never
     // reads this field.
     IngressGuard::Options ingress;
+    // Fluid migration (core/migration_strategy.h): when IsFluid() and the
+    // installed strategy reports a post-transition backlog, the engine runs
+    // one bounded completion batch between events (inside Admit, before the
+    // arrival is processed, so the batch cost lands in that event's output
+    // delay). All-at-once (the default) never takes the branch.
+    FluidOptions fluid;
   };
 
   Engine(const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
@@ -121,6 +127,13 @@ class Engine : public StreamProcessor {
   void WireExecutor();
   // Admits one event and processes its cascade to quiescence.
   void Admit(const BaseTuple& tuple);
+  // Marks the event's admission on the output-delay sink; the first event
+  // after a transition is backdated to the transition request, charging the
+  // stall to its outputs.
+  void BeginObsEvent();
+  // Runs one fluid completion batch if due (options_.fluid cadence) and the
+  // strategy has backlog; refreshes the migration-backlog gauge.
+  void MaybeRunFluidBatch(Stamp stamp);
   // Updates this track's telemetry state-memory gauge (no-op when telemetry
   // is off). Called on the maintain cadence, not per event: the estimate is
   // O(num_ops) and a gauge only needs sampling-rate freshness.
@@ -142,6 +155,10 @@ class Engine : public StreamProcessor {
   uint64_t transitions_ = 0;
   uint64_t shed_tuples_ = 0;
   uint64_t events_since_maintain_ = 0;
+  uint64_t events_since_fluid_ = 0;
+  // Trace-clock reading taken when a transition was requested; consumed by
+  // the next BeginObsEvent. 0 = none pending.
+  uint64_t pending_transition_ns_ = 0;
 };
 
 }  // namespace jisc

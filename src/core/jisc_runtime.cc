@@ -92,8 +92,52 @@ Status JiscRuntime::Migrate(Engine* engine, const LogicalPlan& new_plan) {
         op, since, bound, options_.paper_case3);
   }
   current_plan_left_deep_ = new_plan.IsLeftDeep();
+  frozen_keys_.clear();
+  if (options_.eager_charging) FreezeEagerKeySets(new_exec.get(), new_plan);
   engine->ReplaceExecutor(std::move(new_exec));
   return Status::Ok();
+}
+
+void JiscRuntime::FreezeEagerKeySets(PipelineExecutor* exec,
+                                     const LogicalPlan& plan) {
+  // Predict, children before parents, the live-key set each state would
+  // hold after Moving State's eager bottom-up materialization. A complete
+  // (carried) state keeps its actual keys; an incomplete state's set is
+  // derived from its children's predicted sets, because the eager pass
+  // materializes it from the already-filled children. The reference-child
+  // set the eager pass would iterate (and charge for) is frozen per node;
+  // values outside it complete with no work.
+  std::vector<std::unordered_set<JoinKey, I64Hash>> predicted(
+      static_cast<size_t>(plan.num_nodes()));
+  for (int id = 0; id < plan.num_nodes(); ++id) {
+    Operator* op = exec->op(id);
+    OperatorState& st = op->state();
+    auto& mine = predicted[static_cast<size_t>(id)];
+    if (op->kind() == OpKind::kScan || st.complete()) {
+      for (JoinKey v : st.LiveKeys()) mine.insert(v);
+      continue;
+    }
+    if (st.index() == StateIndex::kList) continue;  // CompleteFull covers these
+    const auto& lk = predicted[static_cast<size_t>(op->left()->node_id())];
+    const auto& rk = predicted[static_cast<size_t>(op->right()->node_id())];
+    if (op->kind() == OpKind::kSetDifference ||
+        op->kind() == OpKind::kSemiJoin) {
+      frozen_keys_[id] = lk;  // eager iterates the left (outer) entries
+      bool want_witness = op->kind() == OpKind::kSemiJoin;
+      for (JoinKey v : lk) {
+        if ((rk.count(v) != 0) == want_witness) mine.insert(v);
+      }
+    } else {
+      // Equi join: eager iterates the smaller child's keys (ties -> left);
+      // a combination needs the value live on both sides.
+      const auto& ref = lk.size() <= rk.size() ? lk : rk;
+      const auto& other = lk.size() <= rk.size() ? rk : lk;
+      frozen_keys_[id] = ref;
+      for (JoinKey v : ref) {
+        if (other.count(v) != 0) mine.insert(v);
+      }
+    }
+  }
 }
 
 void JiscRuntime::Maintain(Engine* engine) {
@@ -299,6 +343,10 @@ void JiscRuntime::MaterializeKey(Operator* op, JoinKey v, Stamp p,
                                  Metrics* metrics) {
   OperatorState& st = op->state();
   JISC_DCHECK(!st.complete() && !st.IsKeyCompleted(v));
+  if (options_.eager_charging) {
+    MaterializeKeyEager(op, v, p, metrics);
+    return;
+  }
   Stamp since = SinceStampFor(op);
   if (op->kind() == OpKind::kSetDifference || op->kind() == OpKind::kSemiJoin) {
     // Set difference: entries for v are the outer tuples with v and no live
@@ -342,6 +390,59 @@ void JiscRuntime::MaterializeKey(Operator* op, JoinKey v, Stamp p,
   if (it != trackers_.end()) it->second->OnKeyCompleted(v);
 }
 
+void JiscRuntime::MaterializeKeyEager(Operator* op, JoinKey v, Stamp p,
+                                      Metrics* metrics) {
+  // Moving State's counter profile (migration/state_materializer.cc):
+  // successful inserts charge `inserts`, dedup suppressions are silent, the
+  // `completions` counter is untouched, and set-difference / semi-join
+  // probes charge one probe_entry per outer tuple examined.
+  OperatorState& st = op->state();
+  auto finish = [&] {
+    st.MarkKeyCompleted(v);
+    auto it = trackers_.find(op->node_id());
+    if (it != trackers_.end()) it->second->OnKeyCompleted(v);
+  };
+  auto fit = frozen_keys_.find(op->node_id());
+  if (fit == frozen_keys_.end() || fit->second.count(v) == 0) {
+    // The eager pass never iterated this value here, so no pre-transition
+    // combination exists for it: complete it with no work and no charges.
+    finish();
+    return;
+  }
+  Stamp since = SinceStampFor(op);
+  if (op->kind() == OpKind::kSetDifference || op->kind() == OpKind::kSemiJoin) {
+    std::vector<Tuple> outers;
+    op->left()->state().CollectMatches(v, p, &outers);
+    if (metrics != nullptr) metrics->probe_entries += outers.size();
+    bool witness = op->right()->state().ContainsKeyLive(v);
+    bool keep = op->kind() == OpKind::kSemiJoin ? witness : !witness;
+    if (keep) {
+      for (const Tuple& l : outers) {
+        Tuple entry = l;
+        entry.set_birth(since);
+        if (st.Insert(entry, since, /*dedup=*/true) && metrics != nullptr) {
+          ++metrics->inserts;
+        }
+      }
+    }
+  } else {
+    std::vector<Tuple> ls;
+    std::vector<Tuple> rs;
+    op->left()->state().CollectMatches(v, p, &ls);
+    op->right()->state().CollectMatches(v, p, &rs);
+    if (metrics != nullptr) metrics->probe_entries += ls.size() + rs.size();
+    for (const Tuple& l : ls) {
+      for (const Tuple& r : rs) {
+        Tuple combo = Tuple::Concat(l, r, since, /*fresh=*/false);
+        if (st.Insert(combo, since, /*dedup=*/true) && metrics != nullptr) {
+          ++metrics->inserts;
+        }
+      }
+    }
+  }
+  finish();
+}
+
 void JiscRuntime::CompleteFull(Operator* op, Stamp p, Metrics* metrics) {
   if (op->kind() == OpKind::kScan) return;
   OperatorState& st = op->state();
@@ -361,13 +462,19 @@ void JiscRuntime::CompleteFull(Operator* op, Stamp p, Metrics* metrics) {
         if (!nlj->theta().Matches(l, r)) continue;
         Tuple combo = Tuple::Concat(l, r, since, /*fresh=*/false);
         if (st.Insert(combo, since, /*dedup=*/true)) {
-          if (metrics != nullptr) ++metrics->completion_inserts;
-        } else if (metrics != nullptr) {
+          if (metrics != nullptr) {
+            if (options_.eager_charging) {
+              ++metrics->inserts;
+            } else {
+              ++metrics->completion_inserts;
+            }
+          }
+        } else if (metrics != nullptr && !options_.eager_charging) {
           ++metrics->completion_dedup_hits;
         }
       }
     });
-    if (metrics != nullptr) ++metrics->completions;
+    if (metrics != nullptr && !options_.eager_charging) ++metrics->completions;
   } else {
     // Hash or set-difference state: complete every potentially-missing
     // value. (Missing combinations need the value live on both sides, so
@@ -388,6 +495,144 @@ void JiscRuntime::CompleteFull(Operator* op, Stamp p, Metrics* metrics) {
     }
   }
   MarkStateComplete(op);
+}
+
+std::vector<int> JiscRuntime::IncompleteOpIds() const {
+  std::vector<int> ids;
+  ids.reserve(trackers_.size());
+  // jisc-verify: allow(determinism) — gathered ids are sorted below
+  for (const auto& [id, tr] : trackers_) {
+    (void)tr;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());  // children before parents
+  return ids;
+}
+
+void JiscRuntime::CompleteKeyAt(Engine* engine, int op_id, JoinKey v,
+                                Stamp p) {
+  engine_ = engine;
+  Operator* op = engine->executor().op(op_id);
+  OperatorState& st = op->state();
+  if (st.complete() || st.IsKeyCompleted(v)) return;
+  Metrics* metrics = &engine->mutable_metrics();
+  if (st.index() == StateIndex::kList) {
+    CompleteFull(op, p, metrics);
+    return;
+  }
+  // Same dispatch as an on-probe completion so the charges are identical.
+  if (current_plan_left_deep_ && options_.use_left_deep_procedure) {
+    CompleteForKeyLeftDeep(op, v, p, metrics);
+  } else {
+    CompleteForKey(op, v, p, metrics);
+  }
+}
+
+void JiscRuntime::CompleteListAt(Engine* engine, int op_id, Stamp p) {
+  engine_ = engine;
+  Operator* op = engine->executor().op(op_id);
+  if (op->state().complete()) return;
+  CompleteFull(op, p, &engine->mutable_metrics());
+}
+
+void JiscRuntime::SerializeCompletionState(ByteWriter* w) const {
+  std::vector<int> ids = IncompleteOpIds();
+  w->PutU64(ids.size());
+  for (int id : ids) {
+    const CompletionTracker& tr = *trackers_.at(id);
+    w->PutU64(static_cast<uint64_t>(id));
+    w->PutU64(tr.since_stamp());
+    w->PutU64(tr.boundary_seq());
+    w->PutU64(tr.initialized() ? 1 : 0);
+    if (tr.initialized()) {
+      std::vector<JoinKey> keys = tr.PendingKeysSorted();
+      w->PutU64(keys.size());
+      for (JoinKey k : keys) w->PutI64(k);
+    }
+  }
+  std::vector<int> fids;
+  fids.reserve(frozen_keys_.size());
+  // jisc-verify: allow(determinism) — gathered ids are sorted below
+  for (const auto& [id, keys] : frozen_keys_) {
+    (void)keys;
+    fids.push_back(id);
+  }
+  std::sort(fids.begin(), fids.end());
+  w->PutU64(fids.size());
+  for (int id : fids) {
+    const auto& set = frozen_keys_.at(id);
+    std::vector<JoinKey> keys(set.begin(), set.end());
+    std::sort(keys.begin(), keys.end());
+    w->PutU64(static_cast<uint64_t>(id));
+    w->PutU64(keys.size());
+    for (JoinKey k : keys) w->PutI64(k);
+  }
+}
+
+Status JiscRuntime::RestoreCompletionState(Engine* engine, ByteReader* r) {
+  engine_ = engine;
+  PipelineExecutor& exec = engine->executor();
+  current_plan_left_deep_ = engine->plan().IsLeftDeep();
+  trackers_.clear();
+  frozen_keys_.clear();
+  int num_ops = exec.num_ops();
+  uint64_t num_trackers = 0;
+  Status s = r->GetU64(&num_trackers);
+  if (!s.ok()) return s;
+  for (uint64_t i = 0; i < num_trackers; ++i) {
+    uint64_t id = 0;
+    uint64_t since = 0;
+    uint64_t boundary = 0;
+    uint64_t initialized = 0;
+    if (!(s = r->GetU64(&id)).ok()) return s;
+    if (!(s = r->GetU64(&since)).ok()) return s;
+    if (!(s = r->GetU64(&boundary)).ok()) return s;
+    if (!(s = r->GetU64(&initialized)).ok()) return s;
+    if (id >= static_cast<uint64_t>(num_ops)) {
+      return Status::InvalidArgument(
+          "completion state references a node outside the plan");
+    }
+    Operator* op = exec.op(static_cast<int>(id));
+    if (op->kind() == OpKind::kScan || op->state().complete()) {
+      return Status::InvalidArgument(
+          "completion state does not match the checkpointed plan");
+    }
+    auto tr = std::make_unique<CompletionTracker>(
+        op, static_cast<Stamp>(since), static_cast<Seq>(boundary),
+        options_.paper_case3);
+    if (initialized != 0) {
+      uint64_t num_keys = 0;
+      if (!(s = r->GetU64(&num_keys)).ok()) return s;
+      std::vector<JoinKey> keys;
+      keys.reserve(num_keys);
+      for (uint64_t k = 0; k < num_keys; ++k) {
+        int64_t key = 0;
+        if (!(s = r->GetI64(&key)).ok()) return s;
+        keys.push_back(static_cast<JoinKey>(key));
+      }
+      tr->RestorePending(keys);
+    }
+    trackers_[static_cast<int>(id)] = std::move(tr);
+  }
+  uint64_t num_frozen = 0;
+  if (!(s = r->GetU64(&num_frozen)).ok()) return s;
+  for (uint64_t i = 0; i < num_frozen; ++i) {
+    uint64_t id = 0;
+    uint64_t num_keys = 0;
+    if (!(s = r->GetU64(&id)).ok()) return s;
+    if (!(s = r->GetU64(&num_keys)).ok()) return s;
+    if (id >= static_cast<uint64_t>(num_ops)) {
+      return Status::InvalidArgument(
+          "frozen key set references a node outside the plan");
+    }
+    auto& set = frozen_keys_[static_cast<int>(id)];
+    for (uint64_t k = 0; k < num_keys; ++k) {
+      int64_t key = 0;
+      if (!(s = r->GetI64(&key)).ok()) return s;
+      set.insert(static_cast<JoinKey>(key));
+    }
+  }
+  return Status::Ok();
 }
 
 std::unique_ptr<MigrationStrategy> MakeJiscStrategy(JiscOptions options) {

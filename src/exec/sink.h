@@ -187,6 +187,12 @@ class OutputDelaySink : public Sink {
     if (obs_ != nullptr) admit_ns_ = obs_->trace.NowNs();
   }
 
+  // Backdated admission mark: the event is charged from `ns` (an earlier
+  // trace-clock reading) instead of now. The engine uses this to charge the
+  // first post-transition event for the time the transition itself took —
+  // its outputs were delayed by exactly that much wall time.
+  void BeginEventAt(uint64_t ns) { admit_ns_ = ns; }
+
   void OnOutput(const Tuple& tuple, Stamp stamp) override {
     if (obs_ != nullptr) {
       obs_->output_delay_ns.Record(obs_->trace.NowNs() - admit_ns_);

@@ -5,11 +5,15 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "common/hash.h"
+#include "core/migration_strategy.h"
 #include "exec/pipeline_executor.h"
 #include "exec/sink.h"
 #include "exec/stream_processor.h"
+#include "migration/fluid_scheduler.h"
 
 namespace jisc {
 
@@ -31,6 +35,12 @@ class HybridTrackProcessor : public StreamProcessor {
     // Observability bundle (nullptr = off); see obs/observability.h.
     Observability* obs = nullptr;
     int obs_track = 0;
+    // Fluid mode: the state-matching copy of shared hash-join states is
+    // deferred and drained per key in budgeted batches between tuples
+    // (migration/fluid_scheduler.h). Scans and list states are still copied
+    // at the transition — count-window eviction bookkeeping and theta
+    // probes are not key-local, so deferring them would change results.
+    FluidOptions fluid;
   };
 
   HybridTrackProcessor(const LogicalPlan& plan, const WindowSpec& windows,
@@ -49,8 +59,35 @@ class HybridTrackProcessor : public StreamProcessor {
   // States deep-copied into the newest plan at its transition.
   uint64_t last_states_copied() const { return last_states_copied_; }
 
+  // --- fluid introspection (tests, benches) ---
+  // Deferred copy-ins still pending (0 outside a fluid episode).
+  uint64_t FluidCopyBacklog() const;
+  const FluidScheduler& fluid_scheduler() const { return fluid_sched_; }
+
  private:
+  // One deferred state-matching copy: a snapshot of the donor state taken
+  // at the transition, moved into the adopting plan one key at a time.
+  // Keys probed by an arrival are copied first (EnsureCopied), the rest
+  // drain in budgeted scheduler batches; entries whose base tuples have
+  // already expired from the new plan's (eagerly copied) scan windows are
+  // dropped instead of inserted.
+  struct PendingCopy {
+    int node_id = 0;  // node in the NEWEST plan
+    bool is_root = false;
+    std::unique_ptr<OperatorState> snapshot;
+    std::vector<JoinKey> keys;  // sorted; [next_key..) not yet drained
+    size_t next_key = 0;
+    std::unordered_set<JoinKey, I64Hash> copied;
+  };
+
   void CheckDiscard();
+  void EnsureCopied(JoinKey key);
+  void CopyKey(PendingCopy& pc, JoinKey key);
+  void PruneDrained();
+  bool CopyStep();
+  void RunFluidCopyBatch();
+  void FinishFluidCopies();
+  bool PartsLive(const Tuple& t);
 
   WindowSpec windows_;
   Options options_;
@@ -65,6 +102,9 @@ class HybridTrackProcessor : public StreamProcessor {
   Seq max_seq_seen_ = 0;
   uint64_t events_since_check_ = 0;
   uint64_t last_states_copied_ = 0;
+  FluidScheduler fluid_sched_;
+  std::vector<std::unique_ptr<PendingCopy>> pending_copies_;
+  uint64_t events_since_fluid_ = 0;
 };
 
 }  // namespace jisc

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/migration_strategy.h"
 #include "exec/pipeline_executor.h"
 #include "exec/sink.h"
 #include "exec/stream_processor.h"
@@ -36,6 +37,12 @@ class ParallelTrackProcessor : public StreamProcessor {
     // Observability bundle (nullptr = off); see obs/observability.h.
     Observability* obs = nullptr;
     int obs_track = 0;
+    // Accepted for configuration uniformity but degenerate here: Parallel
+    // Track carries no state across a transition (the new plan starts
+    // empty and the old plans cover the gap until purged), so there is no
+    // carryover backlog for a fluid drain to batch. A fluid-configured run
+    // behaves exactly like an all-at-once one.
+    FluidOptions fluid;
   };
 
   ParallelTrackProcessor(const LogicalPlan& plan, const WindowSpec& windows,

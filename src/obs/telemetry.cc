@@ -34,6 +34,7 @@ TelemetryTrackSample TelemetryRegistry::SampleTrack(int t) const {
   s.stalled_ns = tt.stalled_ns.load(std::memory_order_relaxed);
   s.state_memory_bytes =
       tt.state_memory_bytes.load(std::memory_order_relaxed);
+  s.migration_backlog = tt.migration_backlog.load(std::memory_order_relaxed);
   s.straggler_flags = tt.straggler_flags.load(std::memory_order_relaxed);
   s.ingress_duplicates =
       tt.ingress_duplicates.load(std::memory_order_relaxed);

@@ -54,6 +54,10 @@ struct alignas(64) TrackTelemetry {
   // Approximate resident bytes of the track's operator states, refreshed at
   // the engine's maintain cadence.
   std::atomic<uint64_t> state_memory_bytes{0};
+  // Remaining fluid-migration work items (incomplete states + pending
+  // per-value completions) on this track's engine; 0 outside a migration
+  // episode. Refreshed after every fluid batch and at each transition.
+  std::atomic<uint64_t> migration_backlog{0};
   // Times the stall watchdog flagged this track as a straggler suspect
   // (written by the sampler, read by exporters/assertions).
   std::atomic<uint64_t> straggler_flags{0};
@@ -75,6 +79,7 @@ struct TelemetryTrackSample {
   uint64_t stall_count = 0;
   uint64_t stalled_ns = 0;
   uint64_t state_memory_bytes = 0;
+  uint64_t migration_backlog = 0;
   uint64_t straggler_flags = 0;
   uint64_t ingress_duplicates = 0;
   uint64_t ingress_reordered = 0;
@@ -141,6 +146,9 @@ class TelemetryRegistry {
   }
   void SetStateMemoryBytes(int track, uint64_t bytes) {
     slot(track).state_memory_bytes.store(bytes, std::memory_order_relaxed);
+  }
+  void SetMigrationBacklog(int track, uint64_t items) {
+    slot(track).migration_backlog.store(items, std::memory_order_relaxed);
   }
   // Sampler-side: count one watchdog verdict against the track.
   void NoteStraggler(int track) {

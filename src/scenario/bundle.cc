@@ -77,6 +77,7 @@ Json TelemetryJson(const TelemetryResult& t) {
       track.Set("stalls", ts.stall_count);
       track.Set("stalled_ns", ts.stalled_ns);
       track.Set("state_bytes", ts.state_memory_bytes);
+      track.Set("migration_backlog", ts.migration_backlog);
       track.Set("straggler", ts.straggler_flags);
       track.Set("ingress_dup", ts.ingress_duplicates);
       track.Set("ingress_reordered", ts.ingress_reordered);

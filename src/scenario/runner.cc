@@ -230,11 +230,14 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
                    : IngressGuard::OverflowPolicy::kAdmitLate);
   }
 
+  // Migration pacing ("migration" key); all_at_once is the zero value.
+  FluidOptions fluid = ToFluidOptions(eff.migration);
+
   LogicalPlan initial_plan =
       LogicalPlan::LeftDeep(InitialOrder(streams), OpKind::kHashJoin);
   BuiltProcessor built =
       MakeProcessor(kind, initial_plan, windows, ThetaSpec(),
-                    eff.parallelism, &obs, parallel_options, ingress);
+                    eff.parallelism, &obs, parallel_options, ingress, fluid);
 
   // The sampler starts after the processor is built (tracks registered) and
   // covers warmup + measured stage; Stop() below takes the final snapshot.
@@ -321,6 +324,9 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     Engine::Options eopts;
     eopts.obs = &obs;
     eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
+    // A mid-fluid checkpoint restores into the same fluid configuration,
+    // so the restored engine resumes the drain where the bytes left it.
+    eopts.fluid = fluid;
     if (auto* guarded =
             dynamic_cast<GuardedProcessor*>(built.processor.get())) {
       StatusOr<std::string> bytes = CheckpointGuardedEngine(*guarded);
@@ -328,7 +334,7 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
       accumulated += guarded->metrics();
       StatusOr<std::unique_ptr<GuardedProcessor>> restored =
           RestoreGuardedEngine(bytes.value(), built.sink.get(),
-                               EngineStrategyFactory(kind)(), eopts);
+                               EngineStrategyFactory(kind, fluid)(), eopts);
       if (!restored.ok()) return restored.status();
       built.processor = std::move(restored).value();
       ++result.checkpoint_restores;
@@ -344,7 +350,7 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
     accumulated += engine->metrics();
     StatusOr<std::unique_ptr<Engine>> restored =
         RestoreEngine(bytes.value(), built.sink.get(),
-                      EngineStrategyFactory(kind)(), eopts);
+                      EngineStrategyFactory(kind, fluid)(), eopts);
     if (!restored.ok()) return restored.status();
     built.processor = std::move(restored).value();
     ++result.checkpoint_restores;
@@ -460,6 +466,24 @@ StatusOr<RunResult> RunScenario(const Spec& spec, const RunOptions& options) {
                                  SummarizeHistogram(obs.output_delay_ns));
   result.histograms.emplace_back("completion_ns",
                                  SummarizeHistogram(obs.completion_ns));
+
+  // Post-run latency assertion ("expect" key). Wall-clock latency is noisy
+  // across machines, so the spec's ceiling is floored at 1000us: the
+  // assertion catches order-of-magnitude regressions (an all-at-once stall
+  // where the spec demands fluid pacing), not scheduler jitter.
+  if (eff.expect.output_delay_p99_us.has_value()) {
+    constexpr uint64_t kExpectFloorUs = 1000;
+    uint64_t ceiling_us =
+        std::max(*eff.expect.output_delay_p99_us, kExpectFloorUs);
+    uint64_t p99_us = result.histograms.front().second.p99 / 1000;
+    if (p99_us > ceiling_us) {
+      return Status::FailedPrecondition(
+          "expect: output delay p99 " + std::to_string(p99_us) +
+          "us exceeds the asserted ceiling " + std::to_string(ceiling_us) +
+          "us (spec expect.output_delay_p99_us=" +
+          std::to_string(*eff.expect.output_delay_p99_us) + ")");
+    }
+  }
   if (eff.service_times) {
     result.histograms.emplace_back("probe_ns",
                                    SummarizeHistogram(obs.probe_ns));

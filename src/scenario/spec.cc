@@ -284,6 +284,21 @@ Status ParseIngress(const Json& json, IngressSpec* out) {
   return r.Finish();
 }
 
+Status ParseMigration(const Json& json, MigrationSpec* out) {
+  ObjectReader r(json, "migration");
+  r.GetString("mode", &out->mode);
+  r.GetU64("batch_keys", &out->batch_keys);
+  r.GetU64("delay_budget_us", &out->delay_budget_us);
+  return r.Finish();
+}
+
+Status ParseExpect(const Json& json, ExpectSpec* out) {
+  ObjectReader r(json, "expect");
+  uint64_t v = 0;
+  if (r.GetU64("output_delay_p99_us", &v)) out->output_delay_p99_us = v;
+  return r.Finish();
+}
+
 Status ParseThresholds(const Json& json, std::map<std::string, double>* out) {
   if (!json.is_object()) {
     return Status::InvalidArgument("thresholds: expected an object");
@@ -371,6 +386,14 @@ StatusOr<Spec> ParseSpec(const Json& json) {
   if (const Json* ingress = r.Take("ingress")) {
     Status is = ParseIngress(*ingress, &spec.ingress);
     if (!is.ok()) return is;
+  }
+  if (const Json* migration = r.Take("migration")) {
+    Status ms = ParseMigration(*migration, &spec.migration);
+    if (!ms.ok()) return ms;
+  }
+  if (const Json* expect = r.Take("expect")) {
+    Status es = ParseExpect(*expect, &spec.expect);
+    if (!es.ok()) return es;
   }
   r.GetBool("gate", &spec.gate);
   if (const Json* thresholds = r.Take("thresholds")) {
@@ -548,6 +571,27 @@ Json SpecToJson(const Spec& spec) {
       j.Set("ingress", std::move(ingress));
     }
   }
+  {
+    const MigrationSpec def;
+    const MigrationSpec& m = spec.migration;
+    if (m.mode != def.mode || m.batch_keys != def.batch_keys ||
+        m.delay_budget_us != def.delay_budget_us) {
+      Json migration = Json::Object();
+      if (m.mode != def.mode) migration.Set("mode", m.mode);
+      if (m.batch_keys != def.batch_keys) {
+        migration.Set("batch_keys", m.batch_keys);
+      }
+      if (m.delay_budget_us != def.delay_budget_us) {
+        migration.Set("delay_budget_us", m.delay_budget_us);
+      }
+      j.Set("migration", std::move(migration));
+    }
+  }
+  if (spec.expect.output_delay_p99_us.has_value()) {
+    Json expect = Json::Object();
+    expect.Set("output_delay_p99_us", *spec.expect.output_delay_p99_us);
+    j.Set("expect", std::move(expect));
+  }
   if (!spec.gate) j.Set("gate", false);
   if (!spec.thresholds.empty()) {
     Json thresholds = Json::Object();
@@ -701,7 +745,39 @@ Status ValidateSpec(const Spec& spec) {
       return invalid("ingress.anomaly_threshold requires telemetry.enabled");
     }
   }
+  const MigrationSpec& mig = spec.migration;
+  if (mig.mode != "all_at_once" && mig.mode != "fluid") {
+    return invalid("migration.mode must be all_at_once or fluid");
+  }
+  if (mig.mode == "fluid") {
+    // Fluid pacing exists where a transition carries state: the engine
+    // strategies and the multi-plan trackers. The eddy family and the
+    // static pipeline have no migration stage to pace.
+    switch (kind.value()) {
+      case ProcessorKind::kJisc:
+      case ProcessorKind::kJiscFirstReceipt:
+      case ProcessorKind::kMovingState:
+      case ProcessorKind::kParallelTrack:
+      case ProcessorKind::kHybridTrack:
+        break;
+      default:
+        return invalid("migration.mode fluid is not supported by strategy '" +
+                       spec.strategy + "'");
+    }
+  }
+  if (spec.expect.output_delay_p99_us.has_value() &&
+      *spec.expect.output_delay_p99_us == 0) {
+    return invalid("expect.output_delay_p99_us must be > 0");
+  }
   return Status::Ok();
+}
+
+FluidOptions ToFluidOptions(const MigrationSpec& migration) {
+  FluidOptions fluid;
+  if (migration.mode == "fluid") fluid.mode = FluidOptions::Mode::kFluid;
+  fluid.batch_keys = migration.batch_keys;
+  fluid.delay_budget_us = migration.delay_budget_us;
+  return fluid;
 }
 
 }  // namespace scenario

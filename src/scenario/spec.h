@@ -142,6 +142,27 @@ struct IngressSpec {
   uint64_t anomaly_threshold = 0;
 };
 
+// Migration pacing ("migration" key). all_at_once (the default) performs
+// the whole state carryover/completion inside the transition; fluid drains
+// it in bounded per-key batches between tuples, each batch capped by
+// batch_keys items and by delay_budget_us of deterministic work-unit
+// budget (core/migration_strategy.h FluidOptions). batch_keys 0 means
+// unbounded and degenerates to the literal all-at-once code path.
+struct MigrationSpec {
+  std::string mode = "all_at_once";  // all_at_once | fluid
+  uint64_t batch_keys = 64;
+  uint64_t delay_budget_us = 50;
+};
+
+// Post-run latency assertions ("expect" key), checked by the runner after
+// the measured stage. Latency is machine-dependent noise, so these gate
+// loudly (the run fails) against generous absolute ceilings instead of
+// riding in the baseline-compared sections; the runner additionally floors
+// the threshold (runner.cc) so debug or loaded machines do not flake.
+struct ExpectSpec {
+  std::optional<uint64_t> output_delay_p99_us;
+};
+
 struct Spec {
   std::string name;
   std::string description;
@@ -184,6 +205,12 @@ struct Spec {
   // Engine-side ingress resilience ("ingress" key).
   IngressSpec ingress;
 
+  // Migration pacing ("migration" key).
+  MigrationSpec migration;
+
+  // Post-run latency assertions ("expect" key).
+  ExpectSpec expect;
+
   // Include in the CI perf-gate pack (the soak spec opts out).
   bool gate = true;
 
@@ -212,6 +239,9 @@ Status ValidateSpec(const Spec& spec);
 
 // Sum of phase tuple counts at paper scale.
 uint64_t TotalMeasuredTuples(const Spec& spec);
+
+// The engine-level fluid configuration a spec's migration block selects.
+FluidOptions ToFluidOptions(const MigrationSpec& migration);
 
 }  // namespace scenario
 }  // namespace jisc

@@ -211,6 +211,15 @@ void OperatorState::CollectLiveByKey(JoinKey key,
   }
 }
 
+void OperatorState::CollectLiveByKeyWithStamps(
+    JoinKey key, std::vector<std::pair<Tuple, Stamp>>* out) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  for (const Entry& e : it->second.entries) {
+    if (e.live()) out->emplace_back(e.tuple, e.insert_stamp);
+  }
+}
+
 bool OperatorState::ContainsExactLive(const Tuple& tuple) const {
   auto it = buckets_.find(tuple.key());
   if (it == buckets_.end()) return false;
@@ -254,6 +263,12 @@ bool OperatorState::IsKeyCompleted(JoinKey key) const {
 
 void OperatorState::MarkKeyCompleted(JoinKey key) {
   completed_keys_.insert(key);
+}
+
+std::vector<JoinKey> OperatorState::CompletedKeysSorted() const {
+  std::vector<JoinKey> keys(completed_keys_.begin(), completed_keys_.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 std::string OperatorState::DebugString() const {

@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -118,6 +119,12 @@ class OperatorState {
   // Live entries with this key.
   void CollectLiveByKey(JoinKey key, std::vector<Tuple>* out) const;
 
+  // Live entries with this key, with their insertion stamps, in insertion
+  // order — the stamp-preserving flavor the fluid hybrid copy-in uses so
+  // deferred copies replicate Clone()'s visibility exactly.
+  void CollectLiveByKeyWithStamps(
+      JoinKey key, std::vector<std::pair<Tuple, Stamp>>* out) const;
+
   // An identical live combination exists?
   bool ContainsExactLive(const Tuple& tuple) const;
 
@@ -143,6 +150,9 @@ class OperatorState {
   bool IsKeyCompleted(JoinKey key) const;
   void MarkKeyCompleted(JoinKey key);
   size_t NumCompletedKeys() const { return completed_keys_.size(); }
+  // Completed keys in sorted order — the canonical walk mid-migration
+  // checkpoints serialize from, like ForEachLiveEntryCanonical for entries.
+  std::vector<JoinKey> CompletedKeysSorted() const;
 
   std::string DebugString() const;
 

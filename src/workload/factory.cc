@@ -51,20 +51,38 @@ bool IsEngineKind(ProcessorKind kind) {
          kind == ProcessorKind::kStaticPipeline;
 }
 
-StrategyFactory EngineStrategyFactory(ProcessorKind kind) {
+StrategyFactory EngineStrategyFactory(ProcessorKind kind,
+                                      FluidOptions fluid) {
   JISC_CHECK(IsEngineKind(kind))
       << ProcessorKindName(kind) << " is not an engine kind";
+  const bool is_fluid = fluid.IsFluid();
   switch (kind) {
     case ProcessorKind::kJiscFirstReceipt: {
       JiscOptions j;
       j.completion_mode = JiscOptions::CompletionMode::kOnFirstReceipt;
+      if (is_fluid) return [j, fluid] { return MakeFluidStrategy(j, fluid); };
       return [j] { return MakeJiscStrategy(j); };
     }
     case ProcessorKind::kMovingState:
+      if (is_fluid) {
+        // Fluid Moving State: the JISC machinery drains the carryover in
+        // batches, but charges the eager counter profile and drains exactly
+        // the key sets the halted eager pass would have materialized, so
+        // deterministic counters match the all-at-once eager run.
+        JiscOptions j;
+        j.eager_charging = true;
+        j.display_name = "moving-state";
+        return [j, fluid] { return MakeFluidStrategy(j, fluid); };
+      }
+      return [] { return MakeMovingStateStrategy(); };
     case ProcessorKind::kStaticPipeline:
+      // Never migrates; fluid has nothing to drain.
       return [] { return MakeMovingStateStrategy(); };
     case ProcessorKind::kJisc:
     default:
+      if (is_fluid) {
+        return [fluid] { return MakeFluidStrategy(JiscOptions(), fluid); };
+      }
       return [] { return MakeJiscStrategy(); };
   }
 }
@@ -73,7 +91,8 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
                              const WindowSpec& windows, ThetaSpec theta,
                              int parallelism, Observability* obs,
                              ParallelExecutor::Options parallel_options,
-                             IngressGuard::Options ingress) {
+                             IngressGuard::Options ingress,
+                             FluidOptions fluid) {
   BuiltProcessor built;
   built.sink = std::make_unique<CountingSink>();
   JISC_CHECK(parallelism <= 1 || IsEngineKind(kind))
@@ -85,6 +104,7 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
   // Engine kinds are guarded inside MakeEngineProcessor (so the guard also
   // fronts the sharded executor); the other kinds are wrapped below.
   eopts.ingress = ingress;
+  eopts.fluid = fluid;
   switch (kind) {
     case ProcessorKind::kJisc:
     case ProcessorKind::kJiscFirstReceipt:
@@ -93,13 +113,14 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
       eopts.track_freshness = kind != ProcessorKind::kStaticPipeline;
       built.processor =
           MakeEngineProcessor(plan, windows, built.sink.get(),
-                              EngineStrategyFactory(kind), eopts,
+                              EngineStrategyFactory(kind, fluid), eopts,
                               parallel_options);
       break;
     case ProcessorKind::kParallelTrack: {
       ParallelTrackProcessor::Options popts;
       popts.exec.theta = theta;
       popts.obs = obs;
+      popts.fluid = fluid;
       built.processor = std::make_unique<ParallelTrackProcessor>(
           plan, windows, built.sink.get(), popts);
       break;
@@ -108,6 +129,7 @@ BuiltProcessor MakeProcessor(ProcessorKind kind, const LogicalPlan& plan,
       HybridTrackProcessor::Options hopts;
       hopts.exec.theta = theta;
       hopts.obs = obs;
+      hopts.fluid = fluid;
       built.processor = std::make_unique<HybridTrackProcessor>(
           plan, windows, built.sink.get(), hopts);
       break;

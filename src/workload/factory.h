@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/migration_strategy.h"
 #include "core/parallel_engine.h"
 #include "exec/ingress_guard.h"
 #include "exec/sink.h"
@@ -45,7 +46,11 @@ bool IsEngineKind(ProcessorKind kind);
 // Exposed so flows that rebuild an engine outside MakeProcessor — the
 // scenario runner's checkpoint/restore action restoring via RestoreEngine
 // — construct the identical strategy. CHECK-fails on non-engine kinds.
-StrategyFactory EngineStrategyFactory(ProcessorKind kind);
+// A fluid `fluid` selects the fluid-draining strategy decorator for the
+// migrating kinds (kJisc, kJiscFirstReceipt, kMovingState);
+// kStaticPipeline never migrates and ignores it.
+StrategyFactory EngineStrategyFactory(ProcessorKind kind,
+                                      FluidOptions fluid = FluidOptions());
 
 // A processor wired to a counting sink.
 struct BuiltProcessor {
@@ -67,12 +72,19 @@ struct BuiltProcessor {
 // `ingress` (disabled by default) wraps the built processor — any kind, any
 // parallelism — in a GuardedProcessor (exec/ingress_guard.h) that dedups
 // and re-orders the feed before admission. Disabled adds no wrapper.
+// `fluid` (all-at-once by default) selects fluid migration for the kinds
+// that carry state across transitions: the engine kinds get the fluid
+// strategy decorator plus the engine's between-event batch pump, Hybrid
+// Track gets its deferred per-key copy-in, and Parallel Track accepts the
+// options as a documented no-op (it has no carryover to batch). The eddy
+// family has no migration stage and ignores it.
 BuiltProcessor MakeProcessor(
     ProcessorKind kind, const LogicalPlan& plan, const WindowSpec& windows,
     ThetaSpec theta = ThetaSpec(), int parallelism = 1,
     Observability* obs = nullptr,
     ParallelExecutor::Options parallel_options = ParallelExecutor::Options(),
-    IngressGuard::Options ingress = IngressGuard::Options());
+    IngressGuard::Options ingress = IngressGuard::Options(),
+    FluidOptions fluid = FluidOptions());
 
 }  // namespace jisc
 

@@ -1,6 +1,9 @@
 // Engine checkpoint/restore: a restored engine must behave
 // tuple-for-tuple like the uninterrupted one.
 
+#include <map>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -10,6 +13,7 @@
 #include "migration/moving_state.h"
 #include "plan/transitions.h"
 #include "tests/test_util.h"
+#include "workload/factory.h"
 
 namespace jisc {
 namespace {
@@ -297,6 +301,161 @@ TEST(CheckpointTest, MovingStateEngineRestoresUnderJisc) {
   auto combined = IdentityMultiset(a_sink.outputs());
   for (const Tuple& t : b_sink.outputs()) combined.insert(t.IdentityHash());
   EXPECT_EQ(combined, IdentityMultiset(ref_out));
+}
+
+// --- fluid migration checkpoints (migration/fluid_scheduler.h) ---
+//
+// A checkpoint taken while a fluid drain is mid-flight serializes the
+// in-flight migration bookkeeping (v2 format); the restored engine resumes
+// the drain and must be indistinguishable from an uninterrupted twin.
+
+FluidOptions SlowFluid() {
+  FluidOptions fluid;
+  fluid.mode = FluidOptions::Mode::kFluid;
+  fluid.batch_keys = 1;  // one key per event: the drain spans many events
+  return fluid;
+}
+
+std::map<std::string, uint64_t> CounterMap(const Metrics& m) {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, value] : m.NamedCounters()) out[name] = value;
+  return out;
+}
+
+// No-churn fluid workload (windows outlast the run, so nothing completes
+// behind the drain's back and the maintain cadence — which restarts on
+// restore — has no counters to move).
+struct FluidFixture {
+  LogicalPlan plan = LogicalPlan::LeftDeep(IdentityOrder(4),
+                                           OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(IdentityOrder(4)),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 50000);
+  std::vector<BaseTuple> tuples = UniformWorkload(4, 64, 1300, 13);
+  FluidOptions fluid = SlowFluid();
+
+  Engine::Options opts() const {
+    Engine::Options o;
+    o.fluid = fluid;
+    return o;
+  }
+  std::unique_ptr<MigrationStrategy> strategy() const {
+    return EngineStrategyFactory(ProcessorKind::kJisc, fluid)();
+  }
+};
+
+TEST(FluidCheckpointTest, MidDrainRestoreReproducesUninterruptedCounters) {
+  FluidFixture f;
+  const size_t kSplit = 517;  // 512 warmup + 5 events into the drain
+
+  // Uninterrupted twin.
+  CollectingSink full_sink;
+  Engine full(f.plan, f.windows, &full_sink, f.strategy(), f.opts());
+  for (size_t i = 0; i < 512; ++i) full.Push(f.tuples[i]);
+  ASSERT_TRUE(full.RequestTransition(f.next).ok());
+  for (size_t i = 512; i < f.tuples.size(); ++i) full.Push(f.tuples[i]);
+  auto full_counters = CounterMap(full.metrics());
+
+  // Interrupted: checkpoint 5 events after the transition, mid-drain.
+  CollectingSink a_sink;
+  Engine a(f.plan, f.windows, &a_sink, f.strategy(), f.opts());
+  for (size_t i = 0; i < 512; ++i) a.Push(f.tuples[i]);
+  ASSERT_TRUE(a.RequestTransition(f.next).ok());
+  for (size_t i = 512; i < kSplit; ++i) a.Push(f.tuples[i]);
+  ASSERT_GT(a.strategy().FluidBacklog(), 0u) << "drain already finished";
+  auto bytes = CheckpointEngine(a);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto a_counters = CounterMap(a.metrics());
+
+  CollectingSink b_sink;
+  auto b = RestoreEngine(bytes.value(), &b_sink, f.strategy(), f.opts());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_GT(b.value()->strategy().FluidBacklog(), 0u);
+  for (size_t i = kSplit; i < f.tuples.size(); ++i) {
+    b.value()->Push(f.tuples[i]);
+  }
+
+  // Metrics restart from zero on restore, so the ledger claim is additive:
+  // pre-checkpoint + post-restore == uninterrupted, counter for counter.
+  auto b_counters = CounterMap(b.value()->metrics());
+  ASSERT_EQ(full_counters.size(), a_counters.size());
+  for (const auto& [name, value] : full_counters) {
+    EXPECT_EQ(value, a_counters[name] + b_counters[name])
+        << "counter '" << name << "' diverged across the restore";
+  }
+  auto combined = IdentityMultiset(a_sink.outputs());
+  for (const Tuple& t : b_sink.outputs()) combined.insert(t.IdentityHash());
+  EXPECT_EQ(combined, IdentityMultiset(full_sink.outputs()));
+
+  // Both drains finished and the final states agree byte for byte.
+  EXPECT_EQ(b.value()->strategy().FluidBacklog(), 0u);
+  auto full_final = CheckpointEngine(full);
+  auto b_final = CheckpointEngine(*b.value());
+  ASSERT_TRUE(full_final.ok());
+  ASSERT_TRUE(b_final.ok());
+  EXPECT_EQ(full_final.value(), b_final.value());
+}
+
+TEST(FluidCheckpointTest, CorruptFluidBlobIsRejectedLoudly) {
+  FluidFixture f;
+  CollectingSink sink;
+  Engine engine(f.plan, f.windows, &sink, f.strategy(), f.opts());
+  for (size_t i = 0; i < 512; ++i) engine.Push(f.tuples[i]);
+  ASSERT_TRUE(engine.RequestTransition(f.next).ok());
+  for (size_t i = 512; i < 517; ++i) engine.Push(f.tuples[i]);
+  ASSERT_GT(engine.strategy().FluidBacklog(), 0u);
+  auto bytes = CheckpointEngine(engine);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  CollectingSink s2;
+  // Sanity: the pristine blob restores.
+  ASSERT_TRUE(
+      RestoreEngine(bytes.value(), &s2, f.strategy(), f.opts()).ok());
+
+  // Truncating or extending the strategy blob fails.
+  std::string truncated = bytes.value().substr(0, bytes.value().size() - 3);
+  EXPECT_FALSE(RestoreEngine(truncated, &s2, f.strategy(), f.opts()).ok());
+  std::string trailing = bytes.value() + "xx";
+  EXPECT_FALSE(RestoreEngine(trailing, &s2, f.strategy(), f.opts()).ok());
+
+  // Flipping the fluid blob's magic fails with InvalidArgument. The blob is
+  // embedded verbatim in the checkpoint; locate it by its leading bytes.
+  std::string blob = engine.strategy().SerializeMigrationState();
+  ASSERT_GE(blob.size(), 8u);
+  size_t pos = bytes.value().find(blob.substr(0, 8));
+  ASSERT_NE(pos, std::string::npos);
+  std::string flipped = bytes.value();
+  flipped[pos] ^= 0x5a;
+  auto r = RestoreEngine(flipped, &s2, f.strategy(), f.opts());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // A mid-migration checkpoint restored under a strategy that cannot carry
+  // migration state (plain all-at-once JISC) is refused, not half-restored.
+  EXPECT_FALSE(RestoreEngine(bytes.value(), &s2, MakeJiscStrategy()).ok());
+}
+
+TEST(FluidCheckpointTest, QuiescedFluidEngineStillWritesV1Bytes) {
+  // Once the drain has finished, a fluid engine's checkpoint is the plain
+  // v1 format: byte-identical to an all-at-once engine's at the same state,
+  // and restorable under any strategy.
+  FluidFixture f;
+  CollectingSink fluid_sink;
+  Engine fluid_engine(f.plan, f.windows, &fluid_sink, f.strategy(),
+                      f.opts());
+  CollectingSink plain_sink;
+  Engine plain_engine(f.plan, f.windows, &plain_sink, MakeJiscStrategy());
+  for (size_t i = 0; i < f.tuples.size(); ++i) {
+    fluid_engine.Push(f.tuples[i]);
+    plain_engine.Push(f.tuples[i]);
+  }
+  auto fluid_bytes = CheckpointEngine(fluid_engine);
+  auto plain_bytes = CheckpointEngine(plain_engine);
+  ASSERT_TRUE(fluid_bytes.ok());
+  ASSERT_TRUE(plain_bytes.ok());
+  EXPECT_EQ(fluid_bytes.value(), plain_bytes.value());
+  CollectingSink s2;
+  EXPECT_TRUE(
+      RestoreEngine(fluid_bytes.value(), &s2, MakeJiscStrategy()).ok());
 }
 
 }  // namespace

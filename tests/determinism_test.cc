@@ -146,6 +146,93 @@ TEST_P(DeterminismTest, TelemetryGaugesOnOffIsByteIdentical) {
   }
 }
 
+// --- fluid migration battery (migration/fluid_scheduler.h) ---
+//
+// The same three guarantees with fluid pacing on: batched carryover is
+// budgeted in deterministic work units (never wall clock), so repeat runs
+// are bit-identical, and the fluid observability surface (fluid-batch /
+// fluid-yield trace spans, the migration-backlog gauge) must not perturb
+// what it observes.
+
+RunSignature RunOnceFluid(ProcessorKind kind, Observability* obs = nullptr) {
+  auto order = IdentityOrder(4);
+  LogicalPlan plan = LogicalPlan::LeftDeep(order, OpKind::kHashJoin);
+  LogicalPlan next = LogicalPlan::LeftDeep(WorstCaseOrder(order),
+                                           OpKind::kHashJoin);
+  WindowSpec windows = WindowSpec::Uniform(4, 8);
+  FluidOptions fluid;
+  fluid.mode = FluidOptions::Mode::kFluid;
+  fluid.batch_keys = 3;
+  BuiltProcessor built =
+      MakeProcessor(kind, plan, windows, ThetaSpec(), /*parallelism=*/1, obs,
+                    ParallelExecutor::Options(), IngressGuard::Options(),
+                    fluid);
+  auto tuples = UniformWorkload(4, 4, 500, /*seed=*/33);
+  std::vector<Tuple> outputs;
+  built.sink->SetCallback(
+      [&](const Tuple& t, Stamp) { outputs.push_back(t); });
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i == 250) {
+      EXPECT_TRUE(built.processor->RequestTransition(next).ok());
+    }
+    built.processor->Push(tuples[i]);
+  }
+  return RunSignature{OutputsHash(outputs),
+                      built.processor->metrics().WorkUnits(),
+                      built.processor->metrics().outputs};
+}
+
+class FluidDeterminismTest : public ::testing::TestWithParam<ProcessorKind> {
+};
+
+TEST_P(FluidDeterminismTest, RepeatRunsAreBitIdentical) {
+  RunSignature a = RunOnceFluid(GetParam());
+  RunSignature b = RunOnceFluid(GetParam());
+  EXPECT_EQ(a.output_hash, b.output_hash);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST_P(FluidDeterminismTest, TracingOnOffIsByteIdentical) {
+  RunSignature off = RunOnceFluid(GetParam());
+  Observability obs;
+  obs.options.record_service_times = true;
+  RunSignature on = RunOnceFluid(GetParam(), &obs);
+  EXPECT_EQ(on.output_hash, off.output_hash);
+  EXPECT_EQ(on.work, off.work);
+  EXPECT_EQ(on.outputs, off.outputs);
+}
+
+TEST_P(FluidDeterminismTest, TelemetryGaugesOnOffIsByteIdentical) {
+  RunSignature off = RunOnceFluid(GetParam());
+  Observability::Options oopts;
+  oopts.telemetry = true;
+  Observability obs(oopts);
+  RunSignature on = RunOnceFluid(GetParam(), &obs);
+  EXPECT_EQ(on.output_hash, off.output_hash);
+  EXPECT_EQ(on.work, off.work);
+  EXPECT_EQ(on.outputs, off.outputs);
+  // The drain finished, so the backlog gauge must have returned to zero on
+  // the processors that publish it.
+  if (obs.telemetry != nullptr && GetParam() != ProcessorKind::kParallelTrack) {
+    EXPECT_EQ(obs.telemetry->SampleTrack(0).migration_backlog, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FluidKinds, FluidDeterminismTest,
+    ::testing::Values(ProcessorKind::kJisc, ProcessorKind::kJiscFirstReceipt,
+                      ProcessorKind::kMovingState,
+                      ProcessorKind::kParallelTrack,
+                      ProcessorKind::kHybridTrack),
+    [](const ::testing::TestParamInfo<ProcessorKind>& info) {
+      std::string name = ProcessorKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
 // All strategies agree with each other on the output multiset (pairwise
 // cross-check on top of the reference-based equivalence suite).
 TEST(DeterminismTest, AllStrategiesAgree) {

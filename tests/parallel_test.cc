@@ -24,6 +24,7 @@
 #include "migration/moving_state.h"
 #include "plan/transitions.h"
 #include "tests/test_util.h"
+#include "workload/factory.h"
 
 namespace jisc {
 namespace {
@@ -469,6 +470,92 @@ TEST(ParallelExecutorTest, MetricsApproxTotalsAreMonotone) {
   EXPECT_GT(snapshots_taken.load(), 0u);
   // After quiescing, the approximate view converges to the exact one.
   EXPECT_EQ(parallel->MetricsApprox().arrivals, proc->metrics().arrivals);
+}
+
+// --- fluid migration under sharding ---------------------------------------
+//
+// Fluid state: one FluidJiscStrategy per shard (the factory builds a fresh
+// instance per shard engine, so the drain ledger is shard-local and never
+// shared across threads). TSan gates this section like the rest of the file.
+
+std::unique_ptr<StreamProcessor> MakeShardedFluid(
+    const LogicalPlan& plan, const WindowSpec& windows, Sink* sink,
+    int parallelism, ParallelExecutor::Options popts) {
+  FluidOptions fluid;
+  fluid.mode = FluidOptions::Mode::kFluid;
+  fluid.batch_keys = 2;  // keep the per-shard drain alive across events
+  Engine::Options eopts;
+  eopts.maintain_period = 32;
+  eopts.parallelism = parallelism;
+  eopts.fluid = fluid;
+  popts.queue_capacity = 8;
+  popts.batch_size = 4;
+  return MakeEngineProcessor(plan, windows, sink, EngineStrategyFactory(
+      ProcessorKind::kJisc, fluid), eopts, popts);
+}
+
+std::vector<std::pair<std::string, uint64_t>> RunShardedFluid(
+    int parallelism, ParallelExecutor::Options popts, CollectingSink* sink) {
+  int streams = 4;
+  uint64_t window = 40;
+  LogicalPlan plan =
+      LogicalPlan::LeftDeep(IdentityOrder(streams), OpKind::kHashJoin);
+  LogicalPlan reversed = LogicalPlan::LeftDeep(
+      WorstCaseOrder(IdentityOrder(streams)), OpKind::kHashJoin);
+  auto proc = MakeShardedFluid(plan, WindowSpec::Uniform(streams, window),
+                               sink, parallelism, popts);
+  auto tuples = UniformWorkload(streams, window, 1200, /*seed=*/11);
+  std::map<size_t, LogicalPlan> schedule{{500, reversed}, {900, plan}};
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto it = schedule.find(i);
+    if (it != schedule.end()) {
+      EXPECT_TRUE(proc->RequestTransition(it->second).ok());
+    }
+    proc->Push(tuples[i]);
+  }
+  return proc->metrics().NamedCounters();  // quiesces all shards
+}
+
+TEST(ParallelFluidTest, FourShardFluidMatchesSingleThreadedOracle) {
+  // Output/retraction multisets are the cross-parallelism invariant;
+  // aggregated counters are not (count-window expiry is per shard, so even
+  // all-at-once runs charge differently at different shard counts).
+  CollectingSink oracle_sink;
+  RunShardedFluid(1, ParallelExecutor::Options(), &oracle_sink);
+  CollectingSink sharded_sink;
+  RunShardedFluid(4, ParallelExecutor::Options(), &sharded_sink);
+  EXPECT_EQ(IdentityMultiset(sharded_sink.outputs()),
+            IdentityMultiset(oracle_sink.outputs()));
+  EXPECT_EQ(IdentityMultiset(sharded_sink.retractions()),
+            IdentityMultiset(oracle_sink.retractions()));
+  EXPECT_GT(sharded_sink.outputs().size(), 0u);
+}
+
+TEST(ParallelFluidTest, RepeatedShardedFluidRunsAreDeterministic) {
+  CollectingSink sink1;
+  auto run1 = RunShardedFluid(4, ParallelExecutor::Options(), &sink1);
+  CollectingSink sink2;
+  auto run2 = RunShardedFluid(4, ParallelExecutor::Options(), &sink2);
+  EXPECT_EQ(run1, run2);
+  EXPECT_EQ(IdentityMultiset(sink1.outputs()),
+            IdentityMultiset(sink2.outputs()));
+}
+
+TEST(ParallelFluidTest, StragglerShardDoesNotPerturbFluidCounters) {
+  // A wall-clock straggler fault changes thread interleaving, not work:
+  // the faulted fluid run's deterministic counters and output multiset
+  // match the clean run's exactly.
+  CollectingSink clean_sink;
+  auto clean = RunShardedFluid(4, ParallelExecutor::Options(), &clean_sink);
+  ParallelExecutor::Options faulted_opts;
+  faulted_opts.straggler_shard = 2;
+  faulted_opts.straggler_stall_ns = 200000;  // 0.2 ms
+  faulted_opts.straggler_stall_every = 64;
+  CollectingSink faulted_sink;
+  auto faulted = RunShardedFluid(4, faulted_opts, &faulted_sink);
+  EXPECT_EQ(clean, faulted);
+  EXPECT_EQ(IdentityMultiset(clean_sink.outputs()),
+            IdentityMultiset(faulted_sink.outputs()));
 }
 
 TEST(ParallelExecutorTest, BackpressureSurvivesTinyQueues) {

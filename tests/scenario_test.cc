@@ -359,6 +359,69 @@ TEST(SpecTest, IngressAndNewFaultsRoundTrip) {
             std::string::npos);
 }
 
+TEST(SpecTest, MigrationAndExpectRoundTrip) {
+  Spec s = TestSpec();
+  s.migration.mode = "fluid";
+  s.migration.batch_keys = 7;
+  s.migration.delay_budget_us = 250;
+  s.expect.output_delay_p99_us = 2000;
+  Json j = SpecToJson(s);
+  auto parsed = ParseSpec(j);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SpecToJson(parsed.value()).Dump(), j.Dump());
+  EXPECT_EQ(parsed.value().migration.mode, "fluid");
+  EXPECT_EQ(parsed.value().migration.batch_keys, 7u);
+  EXPECT_EQ(parsed.value().migration.delay_budget_us, 250u);
+  ASSERT_TRUE(parsed.value().expect.output_delay_p99_us.has_value());
+  EXPECT_EQ(*parsed.value().expect.output_delay_p99_us, 2000u);
+  // The engine-level options the runner derives from the block.
+  FluidOptions fluid = ToFluidOptions(parsed.value().migration);
+  EXPECT_TRUE(fluid.IsFluid());
+  EXPECT_EQ(fluid.batch_keys, 7u);
+  EXPECT_EQ(fluid.delay_budget_us, 250u);
+  // All-default specs keep both sections out of the document.
+  EXPECT_EQ(SpecToJson(TestSpec()).Dump().find("migration"),
+            std::string::npos);
+  EXPECT_EQ(SpecToJson(TestSpec()).Dump().find("expect"),
+            std::string::npos);
+  EXPECT_FALSE(ToFluidOptions(TestSpec().migration).IsFluid());
+}
+
+TEST(SpecTest, RejectsUnknownMigrationKeys) {
+  EXPECT_FALSE(
+      ParseSpecText("{\"name\": \"x\", \"phases\": [{\"tuples\": 10}], "
+                    "\"migration\": {\"mode\": \"fluid\", "
+                    "\"batchkeys\": 8}}")
+          .ok());
+  EXPECT_FALSE(
+      ParseSpecText("{\"name\": \"x\", \"phases\": [{\"tuples\": 10}], "
+                    "\"expect\": {\"output_delay_p99\": 100}}")
+          .ok());
+}
+
+TEST(SpecTest, ValidatesMigrationAndExpectSemantics) {
+  Spec s = TestSpec();
+  s.migration.mode = "gradual";  // not a mode
+  EXPECT_FALSE(ValidateSpec(s).ok());
+
+  s = TestSpec();
+  s.migration.mode = "fluid";
+  EXPECT_TRUE(ValidateSpec(s).ok());  // default strategy (jisc) migrates
+
+  s = TestSpec();
+  s.migration.mode = "fluid";
+  s.strategy = "cacq";  // eddies have no migration stage to pace
+  s.schedule.clear();   // (transition schedule is jisc-specific in TestSpec)
+  auto status = ValidateSpec(s);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cacq"), std::string::npos)
+      << status.ToString();
+
+  s = TestSpec();
+  s.expect.output_delay_p99_us = 0;  // a zero ceiling gates nothing
+  EXPECT_FALSE(ValidateSpec(s).ok());
+}
+
 TEST(SpecTest, TimeWindowModeRoundTrip) {
   Spec s = TestSpec();
   s.window_mode = "time";
@@ -416,6 +479,26 @@ TEST(SpecTest, ValidatesIngressAndFaultSemantics) {
   s = TestSpec();
   s.window_mode = "sliding";  // not a mode
   EXPECT_FALSE(ValidateSpec(s).ok());
+}
+
+TEST(RunnerTest, FluidRunsAreByteIdenticalAndPassTheExpectGate) {
+  Spec s = TestSpec();
+  s.migration.mode = "fluid";
+  s.migration.batch_keys = 4;
+  s.migration.delay_budget_us = 10;
+  // Generous ceiling: the gate exists to catch pathological stalls, and
+  // the runner floors it anyway; what this test locks in is that the
+  // fluid path evaluates the expect block without tripping on a healthy
+  // run, and that fluid pacing is deterministic end to end.
+  s.expect.output_delay_p99_us = 500000;
+  auto a = RunScenario(s);
+  auto b = RunScenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(SerializeDeterministic(a.value()),
+            SerializeDeterministic(b.value()));
+  EXPECT_EQ(a.value().transitions, 1u);
+  EXPECT_GT(a.value().measured_tuples, 0u);
 }
 
 TEST(RunnerTest, TimeWindowRunsAreByteIdentical) {
